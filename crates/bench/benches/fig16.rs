@@ -1,0 +1,48 @@
+//! Fig. 16 — performance of Counter-light and counterless encryption
+//! normalised to no encryption, under AES-128 and AES-256, 25.6 GB/s.
+//!
+//! Paper: Counter-light ≤ 2% average slowdown (≈ 0.98) vs counterless's
+//! ≈ 0.91/0.87; the Counter-light advantage grows from 8.6% (AES-128) to
+//! 13.0% (AES-256) because memoized pads don't care about AES latency.
+
+use clme_bench::{geomean, params_from_env, print_table, SuiteRunner};
+use clme_core::engine::EngineKind;
+use clme_types::config::AesStrength;
+use clme_types::SystemConfig;
+use clme_workloads::suites;
+
+fn main() {
+    let params = params_from_env();
+    let mut r128 = SuiteRunner::new(SystemConfig::isca_table1(), params);
+    let mut r256 = SuiteRunner::new(
+        SystemConfig::isca_table1().with_aes(AesStrength::Aes256),
+        params,
+    );
+    let mut rows = Vec::new();
+    for bench in suites::IRREGULAR {
+        let b128 = r128.run(EngineKind::None, bench);
+        let b256 = r256.run(EngineKind::None, bench);
+        rows.push((
+            bench.to_string(),
+            vec![
+                r128.run(EngineKind::Counterless, bench).performance_vs(&b128),
+                r128.run(EngineKind::CounterLight, bench).performance_vs(&b128),
+                r256.run(EngineKind::Counterless, bench).performance_vs(&b256),
+                r256.run(EngineKind::CounterLight, bench).performance_vs(&b256),
+            ],
+        ));
+    }
+    print_table(
+        "Fig. 16: performance normalised to no encryption (25.6 GB/s)",
+        &["cxl-128", "light-128", "cxl-256", "light-256"],
+        &rows,
+    );
+    let col = |i: usize| -> Vec<f64> { rows.iter().map(|(_, v)| v[i]).collect() };
+    let gain128 = geomean(&col(1)) / geomean(&col(0)) - 1.0;
+    let gain256 = geomean(&col(3)) / geomean(&col(2)) - 1.0;
+    println!(
+        "Counter-light over counterless: +{:.1}% (AES-128; paper 8.6%), +{:.1}% (AES-256; paper 13.0%)",
+        gain128 * 100.0,
+        gain256 * 100.0
+    );
+}

@@ -1,0 +1,45 @@
+//! Fig. 17 — average LLC miss latency overhead of counterless and
+//! Counter-light encryption compared to no encryption.
+//!
+//! Paper: Counter-light saves on average 7.2 ns of LLC miss latency vs
+//! counterless under AES-128 and 11.2 ns under AES-256.
+
+use clme_bench::{mean, params_from_env, print_table, SuiteRunner};
+use clme_core::engine::EngineKind;
+use clme_types::config::AesStrength;
+use clme_types::SystemConfig;
+use clme_workloads::suites;
+
+fn main() {
+    let params = params_from_env();
+    let mut r128 = SuiteRunner::new(SystemConfig::isca_table1(), params);
+    let mut r256 = SuiteRunner::new(
+        SystemConfig::isca_table1().with_aes(AesStrength::Aes256),
+        params,
+    );
+    let mut rows = Vec::new();
+    for bench in suites::IRREGULAR {
+        let b128 = r128.run(EngineKind::None, bench);
+        let b256 = r256.run(EngineKind::None, bench);
+        rows.push((
+            bench.to_string(),
+            vec![
+                r128.run(EngineKind::Counterless, bench).miss_latency_overhead_vs(&b128),
+                r128.run(EngineKind::CounterLight, bench).miss_latency_overhead_vs(&b128),
+                r256.run(EngineKind::Counterless, bench).miss_latency_overhead_vs(&b256),
+                r256.run(EngineKind::CounterLight, bench).miss_latency_overhead_vs(&b256),
+            ],
+        ));
+    }
+    print_table(
+        "Fig. 17: LLC miss latency overhead vs no encryption (ns)",
+        &["cxl-128", "light-128", "cxl-256", "light-256"],
+        &rows,
+    );
+    let col = |i: usize| -> Vec<f64> { rows.iter().map(|(_, v)| v[i]).collect() };
+    println!(
+        "Counter-light saving vs counterless: {:.1} ns (AES-128; paper 7.2), {:.1} ns (AES-256; paper 11.2)",
+        mean(&col(0)) - mean(&col(1)),
+        mean(&col(2)) - mean(&col(3))
+    );
+}

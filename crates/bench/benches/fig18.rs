@@ -1,0 +1,49 @@
+//! Fig. 18 — DRAM bandwidth utilisation of no-encryption, counterless,
+//! and Counter-light under 25.6 GB/s and the 6.4 GB/s stress bandwidth.
+//!
+//! Paper: at 25.6 GB/s the average utilisation is 22% without encryption
+//! and 36% under Counter-light; at 6.4 GB/s it rises to ~73%.
+
+use clme_bench::{mean, params_from_env, print_table, SuiteRunner};
+use clme_core::engine::EngineKind;
+use clme_types::SystemConfig;
+use clme_workloads::suites;
+
+fn main() {
+    let params = params_from_env();
+    let mut high = SuiteRunner::new(SystemConfig::isca_table1(), params);
+    let mut low = SuiteRunner::new(SystemConfig::low_bandwidth(), params);
+    let mut rows = Vec::new();
+    for bench in suites::IRREGULAR {
+        rows.push((
+            bench.to_string(),
+            vec![
+                high.run(EngineKind::None, bench).bandwidth_utilization,
+                high.run(EngineKind::Counterless, bench).bandwidth_utilization,
+                high.run(EngineKind::CounterLight, bench).bandwidth_utilization,
+                low.run(EngineKind::None, bench).bandwidth_utilization,
+                low.run(EngineKind::Counterless, bench).bandwidth_utilization,
+                low.run(EngineKind::CounterLight, bench).bandwidth_utilization,
+            ],
+        ));
+    }
+    print_table(
+        "Fig. 18: DRAM bandwidth utilisation",
+        &[
+            "none@25.6",
+            "cxl@25.6",
+            "light@25.6",
+            "none@6.4",
+            "cxl@6.4",
+            "light@6.4",
+        ],
+        &rows,
+    );
+    let col = |i: usize| -> Vec<f64> { rows.iter().map(|(_, v)| v[i]).collect() };
+    println!(
+        "paper: none 22% -> light 36% @25.6; ~73% @6.4. measured: {:.0}% -> {:.0}% @25.6; {:.0}% @6.4",
+        mean(&col(0)) * 100.0,
+        mean(&col(2)) * 100.0,
+        mean(&col(5)) * 100.0
+    );
+}

@@ -1,0 +1,40 @@
+//! Fig. 20 — performance under the *low* 6.4 GB/s DRAM bandwidth,
+//! normalised to no encryption.
+//!
+//! Paper: under bandwidth starvation the epoch monitor reverts
+//! writebacks to counterless, so Counter-light tracks counterless
+//! closely — at worst 1.4% slower.
+
+use clme_bench::{geomean, params_from_env, print_table, SuiteRunner};
+use clme_core::engine::EngineKind;
+use clme_types::SystemConfig;
+use clme_workloads::suites;
+
+fn main() {
+    let params = params_from_env();
+    let mut runner = SuiteRunner::new(SystemConfig::low_bandwidth(), params);
+    let mut rows = Vec::new();
+    let mut worst_gap = 0.0f64;
+    for bench in suites::IRREGULAR {
+        let base = runner.run(EngineKind::None, bench);
+        let counterless = runner.run(EngineKind::Counterless, bench);
+        let light = runner.run(EngineKind::CounterLight, bench);
+        let cxl = counterless.performance_vs(&base);
+        let lt = light.performance_vs(&base);
+        worst_gap = worst_gap.max(1.0 - lt / cxl);
+        rows.push((bench.to_string(), vec![cxl, lt]));
+    }
+    print_table(
+        "Fig. 20: performance at 6.4 GB/s, normalised to no encryption",
+        &["counterless", "counter-light"],
+        &rows,
+    );
+    let cxl: Vec<f64> = rows.iter().map(|(_, v)| v[0]).collect();
+    let lt: Vec<f64> = rows.iter().map(|(_, v)| v[1]).collect();
+    println!(
+        "worst-case Counter-light degradation vs counterless: {:.1}% (paper: 1.4%); gmeans {:.3} vs {:.3}",
+        worst_gap * 100.0,
+        geomean(&lt),
+        geomean(&cxl)
+    );
+}

@@ -1,0 +1,50 @@
+//! Fig. 21 — fraction of LLC writebacks using counterless encryption at
+//! bandwidth-utilisation thresholds of 10%, 60%, and 80%, under the low
+//! 6.4 GB/s bandwidth (plus the 25.6 GB/s @60% sanity row from the
+//! text).
+//!
+//! Paper: 100% → 91% → 70% as the threshold rises from 10% to 80% at
+//! 6.4 GB/s, but only 3% at the regular 25.6 GB/s with the default 60%.
+
+use clme_bench::{mean, params_from_env, print_table, SuiteRunner};
+use clme_core::engine::EngineKind;
+use clme_types::SystemConfig;
+use clme_workloads::suites;
+
+fn main() {
+    let params = params_from_env();
+    let thresholds = [0.10, 0.60, 0.80];
+    let mut runners: Vec<SuiteRunner> = thresholds
+        .iter()
+        .map(|&t| SuiteRunner::new(SystemConfig::low_bandwidth().with_threshold(t), params))
+        .collect();
+    let mut high = SuiteRunner::new(SystemConfig::isca_table1(), params);
+
+    let mut rows = Vec::new();
+    for bench in suites::IRREGULAR {
+        let mut cols = Vec::new();
+        for runner in runners.iter_mut() {
+            let result = runner.run(EngineKind::CounterLight, bench);
+            cols.push(result.engine_stats.counterless_writeback_fraction());
+        }
+        cols.push(
+            high.run(EngineKind::CounterLight, bench)
+                .engine_stats
+                .counterless_writeback_fraction(),
+        );
+        rows.push((bench.to_string(), cols));
+    }
+    print_table(
+        "Fig. 21: fraction of writebacks using counterless encryption",
+        &["10%@6.4", "60%@6.4", "80%@6.4", "60%@25.6"],
+        &rows,
+    );
+    let col = |i: usize| -> Vec<f64> { rows.iter().map(|(_, v)| v[i]).collect() };
+    println!(
+        "paper: 100% / 91% / 70% at 6.4 GB/s and 3% at 25.6 GB/s; measured: {:.0}% / {:.0}% / {:.0}% / {:.0}%",
+        mean(&col(0)) * 100.0,
+        mean(&col(1)) * 100.0,
+        mean(&col(2)) * 100.0,
+        mean(&col(3)) * 100.0
+    );
+}

@@ -1,0 +1,35 @@
+//! Fig. 22 — performance of Counter-light at thresholds 10% / 60% / 80%
+//! under the low 6.4 GB/s bandwidth, normalised to counterless.
+//!
+//! Paper: all three track counterless closely; lower thresholds switch
+//! to counterless writebacks sooner and are safest under starvation.
+
+use clme_bench::{params_from_env, print_table, SuiteRunner};
+use clme_core::engine::EngineKind;
+use clme_types::SystemConfig;
+use clme_workloads::suites;
+
+fn main() {
+    let params = params_from_env();
+    let thresholds = [0.10, 0.60, 0.80];
+    let mut runners: Vec<SuiteRunner> = thresholds
+        .iter()
+        .map(|&t| SuiteRunner::new(SystemConfig::low_bandwidth().with_threshold(t), params))
+        .collect();
+
+    let mut rows = Vec::new();
+    for bench in suites::IRREGULAR {
+        let mut cols = Vec::new();
+        for runner in runners.iter_mut() {
+            let counterless = runner.run(EngineKind::Counterless, bench);
+            let light = runner.run(EngineKind::CounterLight, bench);
+            cols.push(light.performance_vs(&counterless));
+        }
+        rows.push((bench.to_string(), cols));
+    }
+    print_table(
+        "Fig. 22: Counter-light at different thresholds (6.4 GB/s), normalised to counterless",
+        &["thr 10%", "thr 60%", "thr 80%"],
+        &rows,
+    );
+}

@@ -1,0 +1,94 @@
+//! Design-choice ablations beyond the paper's figures (called out in
+//! DESIGN.md): memoization-table capacity, counter-cache capacity, and
+//! epoch length, on representative irregular workloads — plus the two
+//! extended graphBIG kernels.
+
+use clme_bench::{params_from_env, print_table};
+use clme_core::engine::EngineKind;
+use clme_sim::run_benchmark;
+use clme_types::{SystemConfig, TimeDelta};
+use clme_workloads::suites;
+
+fn main() {
+    let params = params_from_env();
+    let benches = ["bfs", "canneal", "mcf"];
+
+    // --- Memoization-table capacity (Table I default: 128) ------------
+    let mut rows = Vec::new();
+    for bench in benches {
+        let base = run_benchmark(&SystemConfig::isca_table1(), EngineKind::None, bench, params);
+        let mut cols = Vec::new();
+        for entries in [16usize, 128, 1024] {
+            let mut cfg = SystemConfig::isca_table1();
+            cfg.memo_entries = entries;
+            let light = run_benchmark(&cfg, EngineKind::CounterLight, bench, params);
+            cols.push(light.performance_vs(&base));
+        }
+        rows.push((bench.to_string(), cols));
+    }
+    print_table(
+        "Sensitivity: Counter-light vs memo-table entries (perf vs no-encryption)",
+        &["16", "128", "1024"],
+        &rows,
+    );
+
+    // --- Counter-cache capacity (Table I default: 64 KB) --------------
+    let mut rows = Vec::new();
+    for bench in benches {
+        let base = run_benchmark(&SystemConfig::isca_table1(), EngineKind::None, bench, params);
+        let mut cols = Vec::new();
+        for kb in [16u64, 64, 256] {
+            let mut cfg = SystemConfig::isca_table1();
+            cfg.counter_cache_bytes = kb << 10;
+            let light = run_benchmark(&cfg, EngineKind::CounterLight, bench, params);
+            cols.push(light.performance_vs(&base));
+        }
+        rows.push((bench.to_string(), cols));
+    }
+    print_table(
+        "Sensitivity: Counter-light vs counter-cache capacity (KB)",
+        &["16KB", "64KB", "256KB"],
+        &rows,
+    );
+
+    // --- Epoch length (Section IV-B default: 100 µs) ------------------
+    let mut rows = Vec::new();
+    for bench in benches {
+        let low = SystemConfig::low_bandwidth();
+        let counterless = run_benchmark(&low, EngineKind::Counterless, bench, params);
+        let mut cols = Vec::new();
+        for us in [25u64, 100, 400] {
+            let mut cfg = SystemConfig::low_bandwidth();
+            cfg.epoch_length = TimeDelta::from_us(us);
+            let light = run_benchmark(&cfg, EngineKind::CounterLight, bench, params);
+            cols.push(light.performance_vs(&counterless));
+        }
+        rows.push((bench.to_string(), cols));
+    }
+    print_table(
+        "Sensitivity: epoch length at 6.4 GB/s (perf vs counterless)",
+        &["25us", "100us", "400us"],
+        &rows,
+    );
+
+    // --- Extended graphBIG kernels -------------------------------------
+    let mut rows = Vec::new();
+    for bench in suites::EXTENDED_GRAPH {
+        let cfg = SystemConfig::isca_table1();
+        let base = run_benchmark(&cfg, EngineKind::None, bench, params);
+        let counterless = run_benchmark(&cfg, EngineKind::Counterless, bench, params);
+        let light = run_benchmark(&cfg, EngineKind::CounterLight, bench, params);
+        rows.push((
+            bench.to_string(),
+            vec![
+                counterless.performance_vs(&base),
+                light.performance_vs(&base),
+            ],
+        ));
+    }
+    print_table(
+        "Extended graphBIG kernels (25.6 GB/s, perf vs no-encryption)",
+        &["counterless", "counter-light"],
+        &rows,
+    );
+}

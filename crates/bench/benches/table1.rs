@@ -1,0 +1,46 @@
+//! Table I — system configuration. Prints every parameter the paper's
+//! table lists, from the same `SystemConfig` the simulations use.
+
+use clme_types::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::isca_table1();
+    println!("=== Table I: System Configuration ===");
+    println!("CPU                      {} OoO cores, {:.1} GHz", cfg.cores, cfg.core_freq_hz as f64 / 1e9);
+    println!(
+        "Prefetchers              next-line: L1$/L2$; stride: L1$ (degree {}), L2$ (degree {})",
+        cfg.stride_degree_l1, cfg.stride_degree_l2
+    );
+    println!(
+        "L1d$/L2$/L3$             {}KB/{}MB/{}MB; {}/{}/{}",
+        cfg.l1d.capacity_bytes >> 10,
+        cfg.l2.capacity_bytes >> 20,
+        cfg.llc.capacity_bytes >> 20,
+        cfg.l1d.latency,
+        cfg.l2.latency,
+        cfg.llc.latency
+    );
+    println!(
+        "Counter$/Memo table      {}KB {}-way / {} entries",
+        cfg.counter_cache_bytes >> 10,
+        cfg.counter_cache_ways,
+        cfg.memo_entries
+    );
+    println!(
+        "AES-128/AES-256/SHA-3    {}/{}/{}",
+        cfg.aes128_latency, cfg.aes256_latency, cfg.sha3_latency
+    );
+    println!(
+        "Memory                   {} GB, {:.1} GB/s",
+        cfg.memory_bytes >> 30,
+        cfg.dram_bandwidth_bytes_per_s as f64 / 1e9
+    );
+    println!("tCL/tRCD/tRP             {}/{}/{}", cfg.t_cl, cfg.t_rcd, cfg.t_rp);
+    println!("Channels/Ranks           {}/{}", cfg.channels, cfg.ranks);
+    println!(
+        "BW utilisation threshold {:.0}% ({} accesses per {} epoch)",
+        cfg.bandwidth_threshold * 100.0,
+        (cfg.max_accesses_per_epoch() as f64 * cfg.bandwidth_threshold) as u64,
+        cfg.epoch_length
+    );
+}

@@ -1,0 +1,146 @@
+//! `clme` — command-line simulation runner.
+//!
+//! Run any benchmark under any engine and configuration without writing
+//! code:
+//!
+//! ```text
+//! cargo run --release -p clme-bench --bin clme -- \
+//!     --engine counter-light --bench bfs --bandwidth low \
+//!     --aes 256 --threshold 0.8 --measure 200000
+//! ```
+//!
+//! Prints the [`clme_sim::SimResult`] report plus a normalised
+//! comparison against the unencrypted baseline when `--baseline` is set.
+
+use clme_core::engine::EngineKind;
+use clme_sim::{run_benchmark, SimParams};
+use clme_types::config::AesStrength;
+use clme_types::SystemConfig;
+use clme_workloads::suites;
+
+struct Args {
+    engine: EngineKind,
+    bench: String,
+    low_bandwidth: bool,
+    aes256: bool,
+    threshold: Option<f64>,
+    params: SimParams,
+    baseline: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: clme [--engine none|counterless|counter-mode|counter-light]\n\
+         \x20           [--bench NAME] [--bandwidth high|low] [--aes 128|256]\n\
+         \x20           [--threshold FRACTION] [--measure N] [--warmup N]\n\
+         \x20           [--functional-warmup N] [--baseline] [--list]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        engine: EngineKind::CounterLight,
+        bench: "bfs".to_string(),
+        low_bandwidth: false,
+        aes256: false,
+        threshold: None,
+        params: clme_bench::params_from_env(),
+        baseline: true,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match flag.as_str() {
+            "--engine" => {
+                args.engine = match value("--engine").as_str() {
+                    "none" => EngineKind::None,
+                    "counterless" => EngineKind::Counterless,
+                    "counter-mode" => EngineKind::CounterMode,
+                    "counter-light" => EngineKind::CounterLight,
+                    other => {
+                        eprintln!("unknown engine {other}");
+                        usage()
+                    }
+                }
+            }
+            "--bench" => args.bench = value("--bench"),
+            "--bandwidth" => match value("--bandwidth").as_str() {
+                "high" => args.low_bandwidth = false,
+                "low" => args.low_bandwidth = true,
+                other => {
+                    eprintln!("unknown bandwidth {other}");
+                    usage()
+                }
+            },
+            "--aes" => match value("--aes").as_str() {
+                "128" => args.aes256 = false,
+                "256" => args.aes256 = true,
+                other => {
+                    eprintln!("unknown AES strength {other}");
+                    usage()
+                }
+            },
+            "--threshold" =>
+
+                args.threshold = Some(value("--threshold").parse().unwrap_or_else(|_| {
+                    eprintln!("--threshold needs a fraction in [0,1]");
+                    usage()
+                })),
+            "--measure" => {
+                args.params.measure_per_core = value("--measure").parse().unwrap_or_else(|_| usage())
+            }
+            "--warmup" => {
+                args.params.warmup_per_core = value("--warmup").parse().unwrap_or_else(|_| usage())
+            }
+            "--functional-warmup" => {
+                args.params.functional_warmup_accesses =
+                    value("--functional-warmup").parse().unwrap_or_else(|_| usage())
+            }
+            "--baseline" => args.baseline = true,
+            "--no-baseline" => args.baseline = false,
+            "--list" => {
+                println!("irregular: {}", suites::IRREGULAR.join(" "));
+                println!("regular:   {}", suites::REGULAR.join(" "));
+                println!("extended:  {} pointer_chase", suites::EXTENDED_GRAPH.join(" "));
+                std::process::exit(0)
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut cfg = if args.low_bandwidth {
+        SystemConfig::low_bandwidth()
+    } else {
+        SystemConfig::isca_table1()
+    };
+    if args.aes256 {
+        cfg = cfg.with_aes(AesStrength::Aes256);
+    }
+    if let Some(threshold) = args.threshold {
+        cfg = cfg.with_threshold(threshold);
+    }
+
+    let result = run_benchmark(&cfg, args.engine, &args.bench, args.params);
+    println!("{result}");
+    if args.baseline && args.engine != EngineKind::None {
+        let base = run_benchmark(&cfg, EngineKind::None, &args.bench, args.params);
+        println!(
+            "\nnormalised to no encryption: {:.4}  (miss-latency overhead {:+.2} ns, energy ratio {:.3})",
+            result.performance_vs(&base),
+            result.miss_latency_overhead_vs(&base),
+            result.energy_vs(&base)
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Quick calibration probe: normalized performance of every engine on
+//! the irregular suite. Used while tuning workload profiles; not part of
+//! the figure set.
+
+use clme_bench::{geomean, print_table, SuiteRunner};
+use clme_core::engine::EngineKind;
+use clme_sim::SimParams;
+use clme_types::SystemConfig;
+use clme_workloads::suites;
+
+fn main() {
+    let params = SimParams {
+        functional_warmup_accesses: 200_000,
+        warmup_per_core: 150_000,
+        measure_per_core: 150_000,
+    };
+    let mut runner = SuiteRunner::new(SystemConfig::isca_table1(), params);
+    let mut rows = Vec::new();
+    for bench in suites::IRREGULAR {
+        let base = runner.run(EngineKind::None, bench);
+        let counterless = runner.run(EngineKind::Counterless, bench);
+        let light = runner.run(EngineKind::CounterLight, bench);
+        let cmode = runner.run(EngineKind::CounterMode, bench);
+        rows.push((
+            bench.to_string(),
+            vec![
+                counterless.performance_vs(&base),
+                light.performance_vs(&base),
+                cmode.performance_vs(&base),
+                base.bandwidth_utilization,
+                light.bandwidth_utilization,
+                base.elapsed.as_ns_f64() / 1e3,
+                light.elapsed.as_ns_f64() / 1e3,
+                base.engine_stats.mean_read_latency().as_ns_f64(),
+                light.engine_stats.mean_read_latency().as_ns_f64(),
+                light.engine_stats.memo.rate(),
+                light.engine_stats.counterless_writeback_fraction(),
+            ],
+        ));
+    }
+    print_table(
+        "probe: perf normalized to no-encryption (25.6 GB/s)",
+        &[
+            "counterless",
+            "counter-light",
+            "counter-mode",
+            "bw-none",
+            "bw-light",
+            "el-none(us)",
+            "el-light(us)",
+            "lat-none",
+            "lat-light",
+            "memo",
+            "wb-cxl",
+        ],
+        &rows,
+    );
+    let avg: Vec<f64> = rows.iter().map(|(_, v)| v[0]).collect();
+    println!("counterless gmean: {:.4}", geomean(&avg));
+}

@@ -1,0 +1,155 @@
+//! Experiment-harness helpers shared by the figure benches.
+//!
+//! Each bench target in `benches/` regenerates one table or figure from
+//! the paper's evaluation (see DESIGN.md §3 for the index). This library
+//! holds the shared machinery: suite runners with per-baseline caching,
+//! geometric means, and fixed-width table printing that mirrors the
+//! paper's rows.
+
+use clme_core::engine::EngineKind;
+use clme_sim::{run_benchmark, SimParams, SimResult};
+use clme_types::SystemConfig;
+use std::collections::HashMap;
+
+/// Geometric mean of strictly positive values.
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean needs positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of nothing");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Prints a fixed-width table: one row per benchmark, one column per
+/// series, plus a geometric-mean row.
+pub fn print_table(title: &str, columns: &[&str], rows: &[(String, Vec<f64>)]) {
+    println!("\n=== {title} ===");
+    print!("{:<16}", "benchmark");
+    for col in columns {
+        print!("{col:>16}");
+    }
+    println!();
+    let mut sums = vec![Vec::new(); columns.len()];
+    for (name, values) in rows {
+        print!("{name:<16}");
+        for (i, v) in values.iter().enumerate() {
+            print!("{v:>16.4}");
+            sums[i].push(*v);
+        }
+        println!();
+    }
+    print!("{:<16}", "mean");
+    for col in &sums {
+        if !col.is_empty() && col.iter().all(|&v| v > 0.0) {
+            print!("{:>16.4}", geomean(col));
+        } else if !col.is_empty() {
+            print!("{:>16.4}", mean(col));
+        }
+    }
+    println!();
+}
+
+/// Runs one benchmark under several engines with a shared config,
+/// memoising results so the unencrypted baseline is simulated once.
+pub struct SuiteRunner {
+    cfg: SystemConfig,
+    params: SimParams,
+    cache: HashMap<(String, String), SimResult>,
+}
+
+impl SuiteRunner {
+    /// Creates a runner over `cfg` with the given window sizes.
+    pub fn new(cfg: SystemConfig, params: SimParams) -> SuiteRunner {
+        SuiteRunner {
+            cfg,
+            params,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Runs (or recalls) `bench` under `kind`.
+    pub fn run(&mut self, kind: EngineKind, bench: &str) -> SimResult {
+        let key = (kind.to_string(), bench.to_string());
+        if let Some(hit) = self.cache.get(&key) {
+            return hit.clone();
+        }
+        let result = run_benchmark(&self.cfg, kind, bench, self.params);
+        self.cache.insert(key, result.clone());
+        result
+    }
+}
+
+/// Harness window sizes: the default finishes the full figure suite in
+/// minutes while preserving every reported trend; set `CLME_FULL=1` for
+/// the long evaluation windows.
+pub fn params_from_env() -> SimParams {
+    if std::env::var("CLME_FULL").is_ok() {
+        SimParams::evaluation()
+    } else {
+        SimParams {
+            functional_warmup_accesses: 200_000,
+            warmup_per_core: 150_000,
+            measure_per_core: 150_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[0.0]);
+    }
+
+    #[test]
+    fn suite_runner_caches() {
+        let mut runner = SuiteRunner::new(
+            SystemConfig::isca_table1(),
+            SimParams {
+                functional_warmup_accesses: 0,
+                warmup_per_core: 100,
+                measure_per_core: 2_000,
+            },
+        );
+        let a = runner.run(EngineKind::None, "gcc");
+        let b = runner.run(EngineKind::None, "gcc");
+        assert_eq!(a.elapsed, b.elapsed);
+    }
+}

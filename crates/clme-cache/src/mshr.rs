@@ -1,0 +1,167 @@
+//! Miss-status-holding registers (MSHRs).
+//!
+//! MSHRs bound how many cache misses can be outstanding simultaneously —
+//! the memory-level-parallelism cap the interval core model enforces. The
+//! timing representation is a small set of in-flight completion times:
+//! acquiring a slot at time `t` either succeeds immediately or is delayed
+//! until the earliest in-flight miss completes.
+
+use clme_types::Time;
+
+/// A fixed-capacity MSHR file tracking in-flight miss completion times.
+///
+/// # Examples
+///
+/// ```
+/// use clme_cache::mshr::MshrFile;
+/// use clme_types::{Time, TimeDelta};
+///
+/// let mut mshrs = MshrFile::new(1);
+/// let t0 = Time::ZERO;
+/// assert_eq!(mshrs.acquire(t0), t0); // free slot
+/// mshrs.commit(t0 + TimeDelta::from_ns(100));
+/// // Second miss must wait for the first to complete.
+/// assert_eq!(mshrs.acquire(t0), t0 + TimeDelta::from_ns(100));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    in_flight: Vec<Time>,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> MshrFile {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        MshrFile {
+            capacity,
+            in_flight: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Returns the earliest time a new miss can be issued, given it wants
+    /// to issue at `now`: `now` itself if a slot is free, otherwise the
+    /// completion time of the earliest-finishing in-flight miss.
+    ///
+    /// Call [`MshrFile::commit`] with the miss's completion time after
+    /// issuing.
+    pub fn acquire(&mut self, now: Time) -> Time {
+        // Retire everything that completed by `now`.
+        self.in_flight.retain(|&t| t > now);
+        if self.in_flight.len() < self.capacity {
+            return now;
+        }
+        let earliest = *self
+            .in_flight
+            .iter()
+            .min()
+            .expect("capacity > 0 and file full");
+        // The slot frees at `earliest`; drop that entry now so commit can
+        // take its place.
+        let idx = self
+            .in_flight
+            .iter()
+            .position(|&t| t == earliest)
+            .expect("just found it");
+        self.in_flight.swap_remove(idx);
+        earliest
+    }
+
+    /// Records a newly issued miss completing at `completion`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is over capacity (caller failed to `acquire`).
+    pub fn commit(&mut self, completion: Time) {
+        assert!(
+            self.in_flight.len() < self.capacity,
+            "commit without acquire"
+        );
+        self.in_flight.push(completion);
+    }
+
+    /// Number of in-flight misses not yet retired relative to the last
+    /// `acquire` call.
+    pub fn occupancy(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clme_types::TimeDelta;
+
+    fn ns(v: u64) -> TimeDelta {
+        TimeDelta::from_ns(v)
+    }
+
+    #[test]
+    fn free_slots_issue_immediately() {
+        let mut m = MshrFile::new(4);
+        let now = Time::ZERO;
+        for _ in 0..4 {
+            assert_eq!(m.acquire(now), now);
+            m.commit(now + ns(50));
+        }
+        assert_eq!(m.occupancy(), 4);
+    }
+
+    #[test]
+    fn full_file_stalls_until_earliest_completion() {
+        let mut m = MshrFile::new(2);
+        let now = Time::ZERO;
+        m.acquire(now);
+        m.commit(now + ns(30));
+        m.acquire(now);
+        m.commit(now + ns(10));
+        // Full; next acquire returns the earliest completion (10 ns).
+        assert_eq!(m.acquire(now), now + ns(10));
+        m.commit(now + ns(40));
+    }
+
+    #[test]
+    fn completed_misses_free_slots() {
+        let mut m = MshrFile::new(1);
+        m.acquire(Time::ZERO);
+        m.commit(Time::ZERO + ns(5));
+        // At 6 ns the slot has naturally freed.
+        let later = Time::ZERO + ns(6);
+        assert_eq!(m.acquire(later), later);
+    }
+
+    #[test]
+    fn serializes_under_capacity_one() {
+        let mut m = MshrFile::new(1);
+        let mut issue = Time::ZERO;
+        for i in 1..=5u64 {
+            issue = m.acquire(issue);
+            m.commit(issue + ns(10));
+            assert_eq!(issue, Time::ZERO + ns(10 * (i - 1)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "commit without acquire")]
+    fn over_commit_panics() {
+        let mut m = MshrFile::new(1);
+        m.acquire(Time::ZERO);
+        m.commit(Time::ZERO + ns(1));
+        m.commit(Time::ZERO + ns(2));
+    }
+}

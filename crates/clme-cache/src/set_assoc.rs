@@ -1,0 +1,293 @@
+//! A generic set-associative, write-back/write-allocate cache with
+//! true-LRU replacement.
+//!
+//! The cache tracks 64-byte blocks by block index (see
+//! [`clme_types::BlockAddr`]); it stores no data — data live in the
+//! functional memory model — only presence, dirtiness, and recency, which
+//! is all the timing model needs.
+
+use clme_types::stats::Ratio;
+
+/// A line evicted by a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted block index.
+    pub block: u64,
+    /// Whether the evicted line was dirty (must be written back).
+    pub dirty: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// A set-associative cache over block indices.
+///
+/// # Examples
+///
+/// ```
+/// use clme_cache::set_assoc::SetAssocCache;
+///
+/// let mut cache = SetAssocCache::new(2, 2); // 2 sets × 2 ways
+/// cache.fill(0, true);
+/// cache.fill(2, false); // same set as 0 (even blocks)
+/// cache.fill(4, false); // evicts LRU (block 0, dirty)
+/// assert_eq!(cache.fill(6, false).unwrap().block, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    tick: u64,
+    hits: Ratio,
+}
+
+impl SetAssocCache {
+    /// Creates a cache with `sets` sets (a power of two) and `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a nonzero power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> SetAssocCache {
+        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(ways > 0, "need at least one way");
+        SetAssocCache {
+            sets: vec![
+                vec![
+                    Line {
+                        tag: 0,
+                        valid: false,
+                        dirty: false,
+                        last_use: 0,
+                    };
+                    ways
+                ];
+                sets
+            ],
+            set_mask: sets as u64 - 1,
+            tick: 0,
+            hits: Ratio::new(),
+        }
+    }
+
+    /// Creates a cache from a capacity in bytes and associativity,
+    /// assuming 64-byte lines (how Table I specifies geometries).
+    pub fn with_capacity(capacity_bytes: u64, ways: u32) -> SetAssocCache {
+        let lines = capacity_bytes / clme_types::BLOCK_BYTES;
+        let sets = (lines / ways as u64).max(1) as usize;
+        SetAssocCache::new(sets.next_power_of_two(), ways as usize)
+    }
+
+    /// Total lines.
+    pub fn lines(&self) -> usize {
+        self.sets.len() * self.sets[0].len()
+    }
+
+    /// Looks up `block`; on a hit updates recency (and dirtiness for a
+    /// write) and returns `true`. A miss returns `false` and does *not*
+    /// allocate — call [`SetAssocCache::fill`] when the data arrive.
+    pub fn access(&mut self, block: u64, write: bool) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = &mut self.sets[(block & self.set_mask) as usize];
+        let tag = block;
+        let hit = set.iter_mut().find(|line| line.valid && line.tag == tag);
+        match hit {
+            Some(line) => {
+                line.last_use = tick;
+                line.dirty |= write;
+                self.hits.record(true);
+                true
+            }
+            None => {
+                self.hits.record(false);
+                false
+            }
+        }
+    }
+
+    /// Checks presence without touching recency or statistics.
+    pub fn probe(&self, block: u64) -> bool {
+        self.sets[(block & self.set_mask) as usize]
+            .iter()
+            .any(|line| line.valid && line.tag == block)
+    }
+
+    /// Installs `block`, evicting the LRU line of its set if necessary.
+    /// Returns the evicted line, if any valid line was displaced.
+    pub fn fill(&mut self, block: u64, dirty: bool) -> Option<Evicted> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = &mut self.sets[(block & self.set_mask) as usize];
+        // Already present (e.g. racing prefetch): just update.
+        if let Some(line) = set.iter_mut().find(|line| line.valid && line.tag == block) {
+            line.last_use = tick;
+            line.dirty |= dirty;
+            return None;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|line| if line.valid { line.last_use } else { 0 })
+            .expect("ways > 0");
+        let evicted = victim.valid.then_some(Evicted {
+            block: victim.tag,
+            dirty: victim.dirty,
+        });
+        *victim = Line {
+            tag: block,
+            valid: true,
+            dirty,
+            last_use: tick,
+        };
+        evicted
+    }
+
+    /// Removes `block` if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, block: u64) -> Option<bool> {
+        let set = &mut self.sets[(block & self.set_mask) as usize];
+        for line in set.iter_mut() {
+            if line.valid && line.tag == block {
+                line.valid = false;
+                return Some(line.dirty);
+            }
+        }
+        None
+    }
+
+    /// Hit-rate statistics accumulated by [`SetAssocCache::access`].
+    pub fn hit_ratio(&self) -> Ratio {
+        self.hits
+    }
+
+    /// Clears statistics (e.g. at the end of a warm-up window) without
+    /// touching contents.
+    pub fn reset_stats(&mut self) {
+        self.hits = Ratio::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = SetAssocCache::new(4, 2);
+        assert!(!c.access(5, false));
+        c.fill(5, false);
+        assert!(c.access(5, false));
+        assert_eq!(c.hit_ratio().hits(), 1);
+        assert_eq!(c.hit_ratio().total(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.fill(1, false);
+        c.fill(2, false);
+        c.access(1, false); // 2 is now LRU
+        let evicted = c.fill(3, false).unwrap();
+        assert_eq!(evicted.block, 2);
+        assert!(c.probe(1));
+        assert!(c.probe(3));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = SetAssocCache::new(1, 1);
+        c.fill(7, false);
+        c.access(7, true); // make dirty
+        let evicted = c.fill(9, false).unwrap();
+        assert_eq!(evicted, Evicted { block: 7, dirty: true });
+    }
+
+    #[test]
+    fn clean_eviction_reported_clean() {
+        let mut c = SetAssocCache::new(1, 1);
+        c.fill(7, false);
+        assert_eq!(c.fill(9, false).unwrap(), Evicted { block: 7, dirty: false });
+    }
+
+    #[test]
+    fn refill_existing_merges_dirty() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.fill(1, false);
+        assert!(c.fill(1, true).is_none());
+        let evicted_later = {
+            c.fill(3, false);
+            c.fill(5, false).unwrap()
+        };
+        assert_eq!(evicted_later.block, 1);
+        assert!(evicted_later.dirty);
+    }
+
+    #[test]
+    fn sets_are_indexed_by_low_bits() {
+        let mut c = SetAssocCache::new(4, 1);
+        c.fill(0, false);
+        c.fill(1, false);
+        c.fill(2, false);
+        c.fill(3, false);
+        // All four coexist (different sets).
+        for b in 0..4 {
+            assert!(c.probe(b));
+        }
+        // Block 4 maps to set 0 and evicts block 0.
+        assert_eq!(c.fill(4, false).unwrap().block, 0);
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_dirty() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.fill(2, true);
+        assert_eq!(c.invalidate(2), Some(true));
+        assert_eq!(c.invalidate(2), None);
+        assert!(!c.probe(2));
+    }
+
+    #[test]
+    fn probe_does_not_perturb() {
+        let mut c = SetAssocCache::new(1, 2);
+        c.fill(1, false);
+        c.fill(2, false);
+        // Probing 1 must NOT refresh it.
+        assert!(c.probe(1));
+        assert_eq!(c.fill(3, false).unwrap().block, 1);
+        assert_eq!(c.hit_ratio().total(), 0, "probe must not count in stats");
+    }
+
+    #[test]
+    fn with_capacity_geometry() {
+        let c = SetAssocCache::with_capacity(64 << 10, 32);
+        // 64KB / 64B = 1024 lines; 1024/32 = 32 sets.
+        assert_eq!(c.lines(), 1024);
+    }
+
+    #[test]
+    fn write_access_marks_dirty() {
+        let mut c = SetAssocCache::new(1, 1);
+        c.fill(4, false);
+        assert!(c.access(4, true));
+        assert_eq!(c.invalidate(4), Some(true));
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = SetAssocCache::new(2, 1);
+        c.fill(1, false);
+        c.access(1, false);
+        c.reset_stats();
+        assert_eq!(c.hit_ratio().total(), 0);
+        assert!(c.probe(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _ = SetAssocCache::new(3, 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! The timing-level encryption-engine interface the memory controller
+//! drives.
+//!
+//! An engine owns everything between the LLC and DRAM that the paper
+//! varies: cipher-latency behaviour on read misses, metadata traffic on
+//! writebacks, and (for Counter-light) the per-epoch mode switch. The
+//! memory controller calls one method per event and the engine issues the
+//! DRAM accesses itself, so every byte of overhead traffic contends in
+//! the banks and on the bus like the data traffic does.
+
+use crate::stats::EngineStats;
+use clme_dram::timing::Dram;
+use clme_types::{BlockAddr, Time};
+
+/// Which design an engine implements (Fig. 1's three rows, plus the
+/// unencrypted baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// No memory encryption (the normalisation baseline).
+    None,
+    /// Counterless (AES-XTS) encryption: SGX2/TME/MKTME/SME/SEV.
+    Counterless,
+    /// Counter-mode encryption with RMCC memoization (the prior art the
+    /// paper measures in Figs. 8–9).
+    CounterMode,
+    /// Counter-light Encryption — the paper's contribution.
+    CounterLight,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            EngineKind::None => "no-encryption",
+            EngineKind::Counterless => "counterless",
+            EngineKind::CounterMode => "counter-mode",
+            EngineKind::CounterLight => "counter-light",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Timing of one LLC read miss as resolved by an engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadMissOutcome {
+    /// When the data block's last beat arrived from DRAM.
+    pub data_arrival: Time,
+    /// When the *decrypted, verified* data became usable by the core.
+    pub ready: Time,
+    /// When the block's counter became known, if the engine needed one
+    /// (`None` for engines/blocks without counters).
+    pub counter_known: Option<Time>,
+}
+
+/// Timing/mode of one LLC writeback as resolved by an engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WritebackOutcome {
+    /// Whether this writeback used counter mode (false = counterless).
+    pub used_counter_mode: bool,
+    /// When the data write (and any metadata traffic issued eagerly)
+    /// finished occupying DRAM.
+    pub completion: Time,
+}
+
+/// A memory-encryption engine: the timing twin of the functional model in
+/// [`crate::functional`].
+pub trait EncryptionEngine {
+    /// Which design this is.
+    fn kind(&self) -> EngineKind;
+
+    /// Serves a demand LLC read miss issued at `issue` (the moment the
+    /// LLC lookup completed and the request reached the memory
+    /// controller). The engine issues the data DRAM read and any metadata
+    /// reads and returns the resolved timing.
+    fn on_read_miss(&mut self, block: BlockAddr, issue: Time, dram: &mut Dram) -> ReadMissOutcome;
+
+    /// Serves a prefetch fill: the data read (plus any metadata the
+    /// engine's design needs for decryption) is issued, but the latency is
+    /// off the critical path. Returns the data arrival time.
+    fn on_prefetch_fill(&mut self, block: BlockAddr, issue: Time, dram: &mut Dram) -> Time;
+
+    /// Serves an LLC writeback arriving at the controller at `now`.
+    fn on_writeback(&mut self, block: BlockAddr, now: Time, dram: &mut Dram) -> WritebackOutcome;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> &EngineStats;
+
+    /// Clears statistics (e.g. after warm-up) without touching state.
+    fn reset_stats(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(EngineKind::None.to_string(), "no-encryption");
+        assert_eq!(EngineKind::Counterless.to_string(), "counterless");
+        assert_eq!(EngineKind::CounterMode.to_string(), "counter-mode");
+        assert_eq!(EngineKind::CounterLight.to_string(), "counter-light");
+    }
+}

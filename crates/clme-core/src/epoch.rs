@@ -1,0 +1,218 @@
+//! The per-epoch bandwidth monitor and writeback-mode switch
+//! (Section IV-B, the orange boxes of Fig. 11).
+//!
+//! Counter-light counts every memory access (misses + writebacks +
+//! metadata) during each 100 µs epoch. If the previous epoch's count
+//! exceeded the threshold (60% of the accesses the bus could carry in an
+//! epoch), the new epoch's writebacks use counterless encryption; if it
+//! was below, the new epoch starts in counter mode but falls back to
+//! counterless as soon as the running count crosses the same threshold.
+
+use clme_types::config::SystemConfig;
+use clme_types::{Time, TimeDelta};
+
+/// The encryption mode an epoch prescribes for LLC writebacks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WritebackMode {
+    /// Write with counter mode (counter + tree updates).
+    Counter,
+    /// Write with counterless (XTS) encryption — zero overhead traffic.
+    Counterless,
+}
+
+/// The epoch bandwidth monitor.
+///
+/// # Examples
+///
+/// ```
+/// use clme_core::epoch::{EpochMonitor, WritebackMode};
+/// use clme_types::{SystemConfig, Time};
+///
+/// let mut monitor = EpochMonitor::new(&SystemConfig::isca_table1());
+/// // A quiet system starts (and stays) in counter mode.
+/// assert_eq!(monitor.writeback_mode(Time::ZERO), WritebackMode::Counter);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EpochMonitor {
+    epoch_length: TimeDelta,
+    threshold_accesses: u64,
+    epoch_start: Time,
+    accesses_this_epoch: u64,
+    accesses_last_epoch: u64,
+    mode: WritebackMode,
+    /// Ablation switch: when `false`, the monitor always reports counter
+    /// mode (the "no dynamic switching" sensitivity study of Section VI).
+    dynamic: bool,
+}
+
+impl EpochMonitor {
+    /// Creates a monitor from the system configuration (epoch length,
+    /// peak bandwidth, and threshold fraction).
+    pub fn new(cfg: &SystemConfig) -> EpochMonitor {
+        let max = cfg.max_accesses_per_epoch();
+        EpochMonitor {
+            epoch_length: cfg.epoch_length,
+            threshold_accesses: (max as f64 * cfg.bandwidth_threshold) as u64,
+            epoch_start: Time::ZERO,
+            accesses_this_epoch: 0,
+            accesses_last_epoch: 0,
+            mode: WritebackMode::Counter,
+            dynamic: true,
+        }
+    }
+
+    /// Disables dynamic switching (writebacks always use counter mode) —
+    /// the Section VI ablation.
+    pub fn with_dynamic_switching(mut self, dynamic: bool) -> EpochMonitor {
+        self.dynamic = dynamic;
+        if !dynamic {
+            self.mode = WritebackMode::Counter;
+        }
+        self
+    }
+
+    /// The access count at which an epoch trips to counterless.
+    pub fn threshold_accesses(&self) -> u64 {
+        self.threshold_accesses
+    }
+
+    /// Records one memory access (miss, writeback, or metadata transfer)
+    /// observed at `now`.
+    pub fn observe_access(&mut self, now: Time) {
+        self.roll_epochs(now);
+        self.accesses_this_epoch += 1;
+        if self.dynamic
+            && self.mode == WritebackMode::Counter
+            && self.accesses_this_epoch > self.threshold_accesses
+        {
+            // Mid-epoch trip: bandwidth got hot, stop paying overhead now.
+            self.mode = WritebackMode::Counterless;
+        }
+    }
+
+    /// The mode a writeback at `now` must use.
+    pub fn writeback_mode(&mut self, now: Time) -> WritebackMode {
+        if !self.dynamic {
+            return WritebackMode::Counter;
+        }
+        self.roll_epochs(now);
+        self.mode
+    }
+
+    fn roll_epochs(&mut self, now: Time) {
+        while now >= self.epoch_start + self.epoch_length {
+            self.epoch_start += self.epoch_length;
+            self.accesses_last_epoch = self.accesses_this_epoch;
+            self.accesses_this_epoch = 0;
+            // Decision for the new epoch comes from the finished epoch.
+            self.mode = if self.accesses_last_epoch > self.threshold_accesses {
+                WritebackMode::Counterless
+            } else {
+                WritebackMode::Counter
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> EpochMonitor {
+        EpochMonitor::new(&SystemConfig::isca_table1())
+    }
+
+    #[test]
+    fn threshold_is_60_percent_of_epoch_capacity() {
+        // 100 µs / 2.5 ns = 40k transfers; 60% = 24k.
+        assert_eq!(monitor().threshold_accesses(), 24_000);
+    }
+
+    #[test]
+    fn quiet_epochs_stay_in_counter_mode() {
+        let mut m = monitor();
+        let mut t = Time::ZERO;
+        for _ in 0..5 {
+            for _ in 0..100 {
+                m.observe_access(t);
+            }
+            t += TimeDelta::from_us(100);
+            assert_eq!(m.writeback_mode(t), WritebackMode::Counter);
+        }
+    }
+
+    #[test]
+    fn hot_epoch_makes_next_epoch_counterless() {
+        let mut m = monitor();
+        for _ in 0..25_000 {
+            m.observe_access(Time::ZERO + TimeDelta::from_us(1));
+        }
+        // Next epoch: previous exceeded 24k → counterless.
+        let next = Time::ZERO + TimeDelta::from_us(101);
+        assert_eq!(m.writeback_mode(next), WritebackMode::Counterless);
+    }
+
+    #[test]
+    fn mid_epoch_trip_to_counterless() {
+        let mut m = monitor();
+        let t = Time::ZERO + TimeDelta::from_us(3);
+        assert_eq!(m.writeback_mode(t), WritebackMode::Counter);
+        for _ in 0..24_001 {
+            m.observe_access(t);
+        }
+        assert_eq!(m.writeback_mode(t), WritebackMode::Counterless);
+    }
+
+    #[test]
+    fn cool_down_restores_counter_mode() {
+        let mut m = monitor();
+        for _ in 0..30_000 {
+            m.observe_access(Time::ZERO);
+        }
+        let epoch2 = Time::ZERO + TimeDelta::from_us(100);
+        assert_eq!(m.writeback_mode(epoch2), WritebackMode::Counterless);
+        // Epoch 2 is quiet; epoch 3 returns to counter mode.
+        let epoch3 = Time::ZERO + TimeDelta::from_us(200);
+        assert_eq!(m.writeback_mode(epoch3), WritebackMode::Counter);
+    }
+
+    #[test]
+    fn multiple_idle_epochs_roll_correctly() {
+        let mut m = monitor();
+        for _ in 0..30_000 {
+            m.observe_access(Time::ZERO);
+        }
+        // Jump 10 epochs ahead without any traffic.
+        let far = Time::ZERO + TimeDelta::from_ms(1);
+        assert_eq!(m.writeback_mode(far), WritebackMode::Counter);
+    }
+
+    #[test]
+    fn ablation_pins_counter_mode() {
+        let mut m = monitor().with_dynamic_switching(false);
+        for _ in 0..100_000 {
+            m.observe_access(Time::ZERO);
+        }
+        assert_eq!(m.writeback_mode(Time::ZERO), WritebackMode::Counter);
+        let next = Time::ZERO + TimeDelta::from_us(100);
+        assert_eq!(m.writeback_mode(next), WritebackMode::Counter);
+    }
+
+    #[test]
+    fn low_bandwidth_has_lower_threshold() {
+        let m = EpochMonitor::new(&SystemConfig::low_bandwidth());
+        // 100 µs / 10 ns = 10k transfers; 60% = 6k.
+        assert_eq!(m.threshold_accesses(), 6_000);
+    }
+
+    #[test]
+    fn threshold_10_percent_trips_easily() {
+        let cfg = SystemConfig::low_bandwidth().with_threshold(0.10);
+        let mut m = EpochMonitor::new(&cfg);
+        assert_eq!(m.threshold_accesses(), 1_000);
+        for _ in 0..1_001 {
+            m.observe_access(Time::ZERO);
+        }
+        assert_eq!(m.writeback_mode(Time::ZERO), WritebackMode::Counterless);
+    }
+}

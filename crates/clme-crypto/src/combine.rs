@@ -1,0 +1,216 @@
+//! OTP combiners for memoized counter mode (paper Fig. 15).
+//!
+//! RMCC generates each pad word by *combining* an address-only AES result
+//! with a (memoized) counter-only AES result. RMCC's combiner is a
+//! carry-less multiplication plus truncation — a **linear** function,
+//! which Section IV-F criticises. Counter-light replaces it with barrel
+//! shifting (diffusion) followed by an S-box substitution (confusion),
+//! making the combiner **nonlinear**.
+//!
+//! The exact circuit is not specified in the paper beyond "barrel shifting
+//! for diffusion and nonlinear S-Box transformation for confusion"; this
+//! module documents one faithful instantiation:
+//!
+//! ```text
+//! s1  = low 7 bits of C               (data-independent barrel amount)
+//! X   = A ⊕ rotl128(C, s1)            (diffusion)
+//! Y   = SubBytes(X)                   (confusion: AES S-box per byte)
+//! s2  = high 7 bits of A
+//! OTP = rotl128(Y, s2)                (second diffusion pass)
+//! ```
+//!
+//! Both inputs are AES outputs the attacker can neither choose nor
+//! observe, which is the basis of the paper's algebraic-attack analysis
+//! (reproduced in the `clme-security` crate).
+
+use crate::aes::sbox;
+use crate::gf::clmul64;
+
+/// RMCC's linear combiner: carry-less products of the 64-bit halves,
+/// truncated/XOR-folded to 128 bits (paper Fig. 15a).
+///
+/// Linearity in each argument is intentional here — it is the property the
+/// security tests demonstrate and the paper fixes.
+///
+/// # Examples
+///
+/// ```
+/// use clme_crypto::combine::combine_linear;
+///
+/// // Linear: f(a ⊕ b, c) == f(a, c) ⊕ f(b, c).
+/// let (a, b, c) = ([1u8; 16], [2u8; 16], [3u8; 16]);
+/// let ab: [u8; 16] = core::array::from_fn(|i| a[i] ^ b[i]);
+/// let lhs = combine_linear(ab, c);
+/// let fa = combine_linear(a, c);
+/// let fb = combine_linear(b, c);
+/// let rhs: [u8; 16] = core::array::from_fn(|i| fa[i] ^ fb[i]);
+/// assert_eq!(lhs, rhs);
+/// ```
+pub fn combine_linear(addr_aes: [u8; 16], ctr_aes: [u8; 16]) -> [u8; 16] {
+    let a_lo = u64::from_le_bytes(addr_aes[..8].try_into().expect("16B input"));
+    let a_hi = u64::from_le_bytes(addr_aes[8..].try_into().expect("16B input"));
+    let c_lo = u64::from_le_bytes(ctr_aes[..8].try_into().expect("16B input"));
+    let c_hi = u64::from_le_bytes(ctr_aes[8..].try_into().expect("16B input"));
+    // Two 127-bit carry-less products, XOR-folded; truncation to 128 bits
+    // is implicit in the u128 arithmetic.
+    let product = clmul64(a_lo, c_lo) ^ clmul64(a_hi, c_hi).rotate_left(64);
+    product.to_le_bytes()
+}
+
+/// Counter-light's nonlinear combiner: barrel shift for diffusion, AES
+/// S-box for confusion, second barrel shift (paper Fig. 15b).
+///
+/// # Examples
+///
+/// ```
+/// use clme_crypto::combine::combine_nonlinear;
+///
+/// let out = combine_nonlinear([7; 16], [9; 16]);
+/// assert_eq!(out, combine_nonlinear([7; 16], [9; 16])); // deterministic
+/// ```
+pub fn combine_nonlinear(addr_aes: [u8; 16], ctr_aes: [u8; 16]) -> [u8; 16] {
+    let a = u128::from_le_bytes(addr_aes);
+    let c = u128::from_le_bytes(ctr_aes);
+    let s1 = (c & 0x7F) as u32;
+    let x = a ^ c.rotate_left(s1);
+    let mut bytes = x.to_le_bytes();
+    let s = sbox();
+    for byte in bytes.iter_mut() {
+        *byte = s[*byte as usize];
+    }
+    let y = u128::from_le_bytes(bytes);
+    let s2 = ((a >> 121) & 0x7F) as u32;
+    y.rotate_left(s2).to_le_bytes()
+}
+
+/// Measures how many output bits flip, on average, when one random input
+/// bit of `which` ("addr" = first argument, otherwise the second) flips —
+/// the avalanche metric used by the `clme-security` diffusion tests.
+pub fn avalanche_score<F>(combiner: F, trials: u32, seed: u64, flip_addr: bool) -> f64
+where
+    F: Fn([u8; 16], [u8; 16]) -> [u8; 16],
+{
+    let mut rng = clme_types::rng::Xoshiro256::seed_from(seed);
+    let mut total_flips = 0u64;
+    for _ in 0..trials {
+        let mut a = [0u8; 16];
+        let mut c = [0u8; 16];
+        rng.fill_bytes(&mut a);
+        rng.fill_bytes(&mut c);
+        let base = combiner(a, c);
+        let bit = rng.below(128) as usize;
+        if flip_addr {
+            a[bit / 8] ^= 1 << (bit % 8);
+        } else {
+            c[bit / 8] ^= 1 << (bit % 8);
+        }
+        let flipped = combiner(a, c);
+        total_flips += base
+            .iter()
+            .zip(flipped.iter())
+            .map(|(x, y)| (x ^ y).count_ones() as u64)
+            .sum::<u64>();
+    }
+    total_flips as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clme_types::rng::Xoshiro256;
+
+    fn xor16(a: [u8; 16], b: [u8; 16]) -> [u8; 16] {
+        core::array::from_fn(|i| a[i] ^ b[i])
+    }
+
+    #[test]
+    fn linear_combiner_is_linear() {
+        let mut rng = Xoshiro256::seed_from(2);
+        for _ in 0..32 {
+            let mut a = [0u8; 16];
+            let mut b = [0u8; 16];
+            let mut c = [0u8; 16];
+            rng.fill_bytes(&mut a);
+            rng.fill_bytes(&mut b);
+            rng.fill_bytes(&mut c);
+            assert_eq!(
+                combine_linear(xor16(a, b), c),
+                xor16(combine_linear(a, c), combine_linear(b, c))
+            );
+        }
+    }
+
+    #[test]
+    fn nonlinear_combiner_is_not_linear() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let mut violations = 0;
+        for _ in 0..32 {
+            let mut a = [0u8; 16];
+            let mut b = [0u8; 16];
+            let mut c = [0u8; 16];
+            rng.fill_bytes(&mut a);
+            rng.fill_bytes(&mut b);
+            rng.fill_bytes(&mut c);
+            if combine_nonlinear(xor16(a, b), c)
+                != xor16(combine_nonlinear(a, c), combine_nonlinear(b, c))
+            {
+                violations += 1;
+            }
+        }
+        assert!(violations >= 31, "combiner looks linear: {violations}/32");
+    }
+
+    #[test]
+    fn nonlinear_combiner_diffuses_single_bit_flips() {
+        // One flipped input bit must change more than one output bit: the
+        // S-box turns a 1-bit word difference into ~4 bits within its
+        // byte, and flips landing in the barrel-shift amount reshuffle the
+        // whole word. (Full per-bit avalanche is *not* the design goal —
+        // the inputs are already AES outputs; nonlinearity is.)
+        let addr_side = avalanche_score(combine_nonlinear, 500, 42, true);
+        let ctr_side = avalanche_score(combine_nonlinear, 500, 43, false);
+        assert!(addr_side > 3.0, "addr diffusion {addr_side}");
+        assert!(ctr_side > 3.0, "ctr diffusion {ctr_side}");
+    }
+
+    #[test]
+    fn linear_combiner_diffuses_but_stays_linear() {
+        // clmul by a random operand flips ~popcount/2 ≈ 32 output bits per
+        // input bit — plenty of *diffusion*, yet perfectly linear, which
+        // is why it is attackable by equation solving (Section IV-F).
+        let linear = avalanche_score(combine_linear, 500, 44, true);
+        assert!(linear > 10.0, "linear diffusion {linear}");
+    }
+
+    #[test]
+    fn combiners_depend_on_both_inputs() {
+        let a = [5u8; 16];
+        let c = [6u8; 16];
+        let mut a2 = a;
+        a2[0] ^= 1;
+        let mut c2 = c;
+        c2[0] ^= 1;
+        for f in [combine_linear, combine_nonlinear] {
+            assert_ne!(f(a, c), f(a2, c));
+            assert_ne!(f(a, c), f(a, c2));
+        }
+    }
+
+    #[test]
+    fn nonlinear_output_is_balanced() {
+        let mut rng = Xoshiro256::seed_from(9);
+        let mut ones = 0u64;
+        for _ in 0..512 {
+            let mut a = [0u8; 16];
+            let mut c = [0u8; 16];
+            rng.fill_bytes(&mut a);
+            rng.fill_bytes(&mut c);
+            ones += combine_nonlinear(a, c)
+                .iter()
+                .map(|b| b.count_ones() as u64)
+                .sum::<u64>();
+        }
+        let frac = ones as f64 / (512.0 * 128.0);
+        assert!((0.45..0.55).contains(&frac), "bit balance off: {frac}");
+    }
+}

@@ -1,0 +1,221 @@
+//! PRESENT-80 — a representative *lightweight* block cipher
+//! (Bogdanov et al., CHES 2007), included because Section III discusses
+//! (and rejects) replacing AES with faster lightweight ciphers: their
+//! lower latency comes with weaker security margins, which contradicts
+//! the industry's move toward *stronger* post-quantum ciphers (the paper
+//! cites the PRINCE key-recovery attack as a cautionary tale).
+//!
+//! PRESENT is an ultra-light 64-bit SPN: 31 rounds of 4-bit S-boxes and a
+//! bit permutation, with an 80-bit key. A hardware implementation is a
+//! fraction of AES's area and latency — which is exactly why the
+//! `lightweight_vs_aes` comparison in the `security` analyses uses it as
+//! the concrete stand-in. Implemented from the published specification
+//! and validated against the paper's test vectors.
+
+/// PRESENT's 4-bit S-box.
+const SBOX4: [u8; 16] = [
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2,
+];
+
+/// Inverse of [`SBOX4`].
+const INV_SBOX4: [u8; 16] = [
+    0x5, 0xE, 0xF, 0x8, 0xC, 0x1, 0x2, 0xD, 0xB, 0x4, 0x6, 0x3, 0x0, 0x7, 0x9, 0xA,
+];
+
+/// Number of rounds (the spec's 31, with a final key addition).
+pub const ROUNDS: usize = 31;
+
+/// A PRESENT-80 cipher instance with its expanded key schedule.
+///
+/// # Examples
+///
+/// ```
+/// use clme_crypto::present::Present80;
+///
+/// let cipher = Present80::new([0; 10]);
+/// let ct = cipher.encrypt_block(0);
+/// assert_eq!(cipher.decrypt_block(ct), 0);
+/// ```
+#[derive(Clone)]
+pub struct Present80 {
+    round_keys: [u64; ROUNDS + 1],
+}
+
+impl std::fmt::Debug for Present80 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("Present80").finish_non_exhaustive()
+    }
+}
+
+impl Present80 {
+    /// Creates a cipher from an 80-bit key (10 bytes, big-endian as in
+    /// the specification).
+    pub fn new(key: [u8; 10]) -> Present80 {
+        // The 80-bit key register, kept in a u128 (high 80 bits used).
+        let mut k: u128 = 0;
+        for &byte in &key {
+            k = (k << 8) | byte as u128;
+        }
+        let mut round_keys = [0u64; ROUNDS + 1];
+        for (round, slot) in round_keys.iter_mut().enumerate() {
+            // Round key = leftmost 64 bits of the register.
+            *slot = (k >> 16) as u64;
+            // Update: rotate left 61, S-box the top nibble, XOR the round
+            // counter into bits 19..15.
+            k = ((k << 61) | (k >> 19)) & ((1u128 << 80) - 1);
+            let top = (k >> 76) as usize & 0xF;
+            k = (k & !(0xFu128 << 76)) | ((SBOX4[top] as u128) << 76);
+            k ^= ((round as u128 + 1) & 0x1F) << 15;
+        }
+        Present80 { round_keys }
+    }
+
+    /// Encrypts one 64-bit block.
+    pub fn encrypt_block(&self, block: u64) -> u64 {
+        let mut state = block;
+        for round in 0..ROUNDS {
+            state ^= self.round_keys[round];
+            state = sub_layer(state);
+            state = perm_layer(state);
+        }
+        state ^ self.round_keys[ROUNDS]
+    }
+
+    /// Decrypts one 64-bit block.
+    pub fn decrypt_block(&self, block: u64) -> u64 {
+        let mut state = block ^ self.round_keys[ROUNDS];
+        for round in (0..ROUNDS).rev() {
+            state = inv_perm_layer(state);
+            state = inv_sub_layer(state);
+            state ^= self.round_keys[round];
+        }
+        state
+    }
+}
+
+fn sub_layer(state: u64) -> u64 {
+    let mut out = 0u64;
+    for nibble in 0..16 {
+        let v = (state >> (4 * nibble)) & 0xF;
+        out |= (SBOX4[v as usize] as u64) << (4 * nibble);
+    }
+    out
+}
+
+fn inv_sub_layer(state: u64) -> u64 {
+    let mut out = 0u64;
+    for nibble in 0..16 {
+        let v = (state >> (4 * nibble)) & 0xF;
+        out |= (INV_SBOX4[v as usize] as u64) << (4 * nibble);
+    }
+    out
+}
+
+/// The spec's bit permutation: bit `i` moves to `16·i mod 63` (bit 63
+/// fixed).
+fn perm_layer(state: u64) -> u64 {
+    let mut out = 0u64;
+    for bit in 0..64 {
+        let dest = if bit == 63 { 63 } else { (16 * bit) % 63 };
+        out |= ((state >> bit) & 1) << dest;
+    }
+    out
+}
+
+fn inv_perm_layer(state: u64) -> u64 {
+    let mut out = 0u64;
+    for bit in 0..64 {
+        let dest = if bit == 63 { 63 } else { (16 * bit) % 63 };
+        out |= ((state >> dest) & 1) << bit;
+    }
+    out
+}
+
+/// A crude hardware-latency comparison (Section III's motivation for —
+/// and the paper's argument against — lightweight ciphers): serial
+/// S-box/permutation rounds at one round per cycle. PRESENT-80's 31
+/// light rounds synthesise several times faster than AES-128's 10 heavy
+/// rounds; the paper pegs AES-128 at 10 ns and lightweight designs at a
+/// fraction of that, but rejects them on security grounds.
+pub fn estimated_rounds_ratio_vs_aes128() -> f64 {
+    // AES round ≈ 1 ns at 7 nm (10 rounds → 10 ns, Table I); a PRESENT
+    // round is a 4-bit S-box layer + wiring ≈ 0.15 ns.
+    (ROUNDS as f64 * 0.15) / 10.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_test_vector_zero_key_zero_plaintext() {
+        // From the CHES 2007 paper's test-vector appendix.
+        let cipher = Present80::new([0; 10]);
+        assert_eq!(cipher.encrypt_block(0), 0x5579_C138_7B22_8445);
+    }
+
+    #[test]
+    fn spec_test_vector_ff_key_zero_plaintext() {
+        let cipher = Present80::new([0xFF; 10]);
+        assert_eq!(cipher.encrypt_block(0), 0xE72C_46C0_F594_5049);
+    }
+
+    #[test]
+    fn spec_test_vector_zero_key_ff_plaintext() {
+        let cipher = Present80::new([0; 10]);
+        assert_eq!(cipher.encrypt_block(u64::MAX), 0xA112_FFC7_2F68_417B);
+    }
+
+    #[test]
+    fn spec_test_vector_ff_key_ff_plaintext() {
+        let cipher = Present80::new([0xFF; 10]);
+        assert_eq!(cipher.encrypt_block(u64::MAX), 0x3333_DCD3_2132_10D2);
+    }
+
+    #[test]
+    fn round_trips_random_blocks() {
+        use clme_types::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from(9);
+        let mut key = [0u8; 10];
+        rng.fill_bytes(&mut key);
+        let cipher = Present80::new(key);
+        for _ in 0..200 {
+            let pt = rng.next_u64();
+            assert_eq!(cipher.decrypt_block(cipher.encrypt_block(pt)), pt);
+        }
+    }
+
+    #[test]
+    fn sbox_and_perm_are_inverses() {
+        use clme_types::rng::Xoshiro256;
+        let mut rng = Xoshiro256::seed_from(10);
+        for _ in 0..100 {
+            let v = rng.next_u64();
+            assert_eq!(inv_sub_layer(sub_layer(v)), v);
+            assert_eq!(inv_perm_layer(perm_layer(v)), v);
+        }
+    }
+
+    #[test]
+    fn avalanche_is_present() {
+        let cipher = Present80::new([3; 10]);
+        let a = cipher.encrypt_block(0);
+        let b = cipher.encrypt_block(1);
+        let flips = (a ^ b).count_ones();
+        assert!((20..=44).contains(&flips), "weak diffusion: {flips}");
+    }
+
+    #[test]
+    fn latency_estimate_is_a_fraction_of_aes() {
+        let ratio = estimated_rounds_ratio_vs_aes128();
+        assert!(ratio < 0.6, "lightweight must be faster: {ratio}");
+        assert!(ratio > 0.1);
+    }
+
+    #[test]
+    fn debug_hides_keys() {
+        let repr = format!("{:?}", Present80::new([0x41; 10]));
+        assert!(!repr.contains("41"));
+    }
+}

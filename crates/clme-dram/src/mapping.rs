@@ -1,0 +1,131 @@
+//! Block-address → DRAM-coordinate mapping.
+//!
+//! The mapping is row-interleaved: consecutive blocks fill a row, the
+//! next row's worth of blocks goes to the next bank, and so on across all
+//! banks of all ranks. Sequential streams therefore enjoy long row hits
+//! while scattered accesses bounce between rows — exactly the behaviour
+//! the irregular-workload evaluation depends on.
+
+use clme_types::config::SystemConfig;
+use clme_types::BlockAddr;
+
+/// Coordinates of a block within the DRAM system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DramCoord {
+    /// Channel index.
+    pub channel: u32,
+    /// Flattened bank index within the channel (rank × banks + bank).
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u64,
+}
+
+/// The address-mapping function.
+///
+/// # Examples
+///
+/// ```
+/// use clme_dram::mapping::AddressMapping;
+/// use clme_types::{BlockAddr, SystemConfig};
+///
+/// let map = AddressMapping::new(&SystemConfig::isca_table1());
+/// let a = map.coord(BlockAddr::new(0));
+/// let b = map.coord(BlockAddr::new(1));
+/// assert_eq!(a.bank, b.bank); // same row while the stream is sequential
+/// assert_eq!(a.row, b.row);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AddressMapping {
+    channels: u32,
+    banks_per_channel: u32,
+    blocks_per_row: u64,
+}
+
+impl AddressMapping {
+    /// Builds the mapping from a system configuration.
+    pub fn new(cfg: &SystemConfig) -> AddressMapping {
+        AddressMapping {
+            channels: cfg.channels,
+            banks_per_channel: cfg.ranks * cfg.banks_per_rank,
+            blocks_per_row: cfg.row_bytes / clme_types::BLOCK_BYTES,
+        }
+    }
+
+    /// Blocks that share one row buffer.
+    pub fn blocks_per_row(&self) -> u64 {
+        self.blocks_per_row
+    }
+
+    /// Total banks per channel.
+    pub fn banks_per_channel(&self) -> u32 {
+        self.banks_per_channel
+    }
+
+    /// Maps a block to its channel/bank/row.
+    pub fn coord(&self, block: BlockAddr) -> DramCoord {
+        let row_unit = block.raw() / self.blocks_per_row;
+        let channel = (row_unit % self.channels as u64) as u32;
+        let per_channel_unit = row_unit / self.channels as u64;
+        let bank = (per_channel_unit % self.banks_per_channel as u64) as u32;
+        let row = per_channel_unit / self.banks_per_channel as u64;
+        DramCoord { channel, bank, row }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> AddressMapping {
+        AddressMapping::new(&SystemConfig::isca_table1())
+    }
+
+    #[test]
+    fn sequential_blocks_share_a_row() {
+        let m = map();
+        let base = m.coord(BlockAddr::new(0));
+        for b in 1..m.blocks_per_row() {
+            assert_eq!(m.coord(BlockAddr::new(b)), base);
+        }
+        // The next row-unit moves to the next bank.
+        let next = m.coord(BlockAddr::new(m.blocks_per_row()));
+        assert_ne!(next.bank, base.bank);
+    }
+
+    #[test]
+    fn row_units_interleave_across_all_banks() {
+        let m = map();
+        let banks = m.banks_per_channel() as u64;
+        let mut seen = std::collections::HashSet::new();
+        for unit in 0..banks {
+            seen.insert(m.coord(BlockAddr::new(unit * m.blocks_per_row())).bank);
+        }
+        assert_eq!(seen.len(), banks as usize);
+    }
+
+    #[test]
+    fn wrapping_returns_to_bank_zero_next_row() {
+        let m = map();
+        let banks = m.banks_per_channel() as u64;
+        let c = m.coord(BlockAddr::new(banks * m.blocks_per_row()));
+        assert_eq!(c.bank, 0);
+        assert_eq!(c.row, 1);
+    }
+
+    #[test]
+    fn table1_geometry() {
+        let m = map();
+        assert_eq!(m.blocks_per_row(), 128); // 8 KB row / 64 B
+        assert_eq!(m.banks_per_channel(), 64); // 8 ranks × 8 banks
+    }
+
+    #[test]
+    fn multi_channel_interleaves_row_units() {
+        let mut cfg = SystemConfig::isca_table1();
+        cfg.channels = 2;
+        let m = AddressMapping::new(&cfg);
+        let a = m.coord(BlockAddr::new(0));
+        let b = m.coord(BlockAddr::new(m.blocks_per_row()));
+        assert_ne!(a.channel, b.channel);
+    }
+}

@@ -1,0 +1,142 @@
+//! A DRAMPower-style energy model.
+//!
+//! `E = P_background · T + E_act · activations + E_rd · reads + E_wr ·
+//! writes`. In large server memories background (idle) power dominates
+//! (Section VI, "Energy and Power"), which is why Counter-light's
+//! *performance* win translates into an energy-per-instruction win: the
+//! same instructions finish in less wall-clock time, accruing less idle
+//! energy, outweighing the extra counter-write transfers.
+
+use clme_types::TimeDelta;
+
+/// Energy parameters (defaults are representative DDR5 figures; the
+/// *relative* energy between engines, which the paper reports, is
+/// insensitive to their absolute calibration).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerParams {
+    /// Background power of the whole memory system in watts.
+    pub background_watts: f64,
+    /// Energy per row activation in nanojoules.
+    pub activate_nj: f64,
+    /// Energy per 64-byte read transfer in nanojoules.
+    pub read_nj: f64,
+    /// Energy per 64-byte write transfer in nanojoules.
+    pub write_nj: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> PowerParams {
+        PowerParams {
+            // 128 GB across 8 DDR5 ranks: ~1.5 W background each
+            // (activate-standby + refresh + peripheral), the regime where
+            // "idle power dominates in the large memory systems typical in
+            // server systems" (Section VI).
+            background_watts: 12.0,
+            activate_nj: 10.0,
+            read_nj: 15.0,
+            write_nj: 17.0,
+        }
+    }
+}
+
+/// Computed energy breakdown for one simulation window.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Idle/background energy in nanojoules.
+    pub background_nj: f64,
+    /// Activation energy in nanojoules.
+    pub activate_nj: f64,
+    /// Read-transfer energy in nanojoules.
+    pub read_nj: f64,
+    /// Write-transfer energy in nanojoules.
+    pub write_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.background_nj + self.activate_nj + self.read_nj + self.write_nj
+    }
+}
+
+impl PowerParams {
+    /// Computes the energy of a window of length `elapsed` with the given
+    /// traffic counts.
+    pub fn energy(
+        &self,
+        elapsed: TimeDelta,
+        activations: u64,
+        reads: u64,
+        writes: u64,
+    ) -> EnergyBreakdown {
+        // W × ns = nJ.
+        let background_nj = self.background_watts * elapsed.as_ns_f64();
+        EnergyBreakdown {
+            background_nj,
+            activate_nj: self.activate_nj * activations as f64,
+            read_nj: self.read_nj * reads as f64,
+            write_nj: self.write_nj * writes as f64,
+        }
+    }
+
+    /// Energy per instruction in nanojoules — the paper's Fig. 19 metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions` is zero.
+    pub fn energy_per_instruction(
+        &self,
+        elapsed: TimeDelta,
+        activations: u64,
+        reads: u64,
+        writes: u64,
+        instructions: u64,
+    ) -> f64 {
+        assert!(instructions > 0, "need instructions to normalise by");
+        self.energy(elapsed, activations, reads, writes).total_nj() / instructions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn background_dominates_long_idle_windows() {
+        let p = PowerParams::default();
+        let e = p.energy(TimeDelta::from_ms(1), 100, 100, 100);
+        assert!(e.background_nj > 0.9 * e.total_nj());
+    }
+
+    #[test]
+    fn traffic_energy_scales_linearly() {
+        let p = PowerParams::default();
+        let one = p.energy(TimeDelta::ZERO, 1, 1, 1);
+        let ten = p.energy(TimeDelta::ZERO, 10, 10, 10);
+        assert!((ten.total_nj() - 10.0 * one.total_nj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_execution_saves_energy_per_instruction() {
+        // The Fig. 19 mechanism: same work, shorter window → less idle
+        // energy per instruction even with *more* transfers.
+        let p = PowerParams::default();
+        let slow = p.energy_per_instruction(TimeDelta::from_us(110), 1000, 5000, 2000, 1_000_000);
+        let fast = p.energy_per_instruction(TimeDelta::from_us(100), 1000, 5000, 2600, 1_000_000);
+        assert!(fast < slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let p = PowerParams::default();
+        let e = p.energy(TimeDelta::from_us(1), 2, 3, 4);
+        let manual = e.background_nj + e.activate_nj + e.read_nj + e.write_nj;
+        assert!((e.total_nj() - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "instructions")]
+    fn zero_instructions_panics() {
+        PowerParams::default().energy_per_instruction(TimeDelta::ZERO, 0, 0, 0, 0);
+    }
+}

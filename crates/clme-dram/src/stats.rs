@@ -1,0 +1,122 @@
+//! Bandwidth and traffic accounting.
+//!
+//! [`BandwidthTracker`] accumulates transfer counts and total bus-busy
+//! time; dividing busy time by a measurement window gives the bandwidth
+//! utilisation reported in the paper's Fig. 18.
+
+use crate::timing::AccessKind;
+use clme_types::{Time, TimeDelta};
+
+/// Accumulates DRAM traffic statistics.
+///
+/// # Examples
+///
+/// ```
+/// use clme_dram::stats::BandwidthTracker;
+/// use clme_dram::timing::AccessKind;
+/// use clme_types::{Time, TimeDelta};
+///
+/// let mut t = BandwidthTracker::new();
+/// t.record(AccessKind::Read, TimeDelta::from_ns_f64(2.5), Time::ZERO + TimeDelta::from_ns(30));
+/// assert_eq!(t.reads(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BandwidthTracker {
+    reads: u64,
+    writes: u64,
+    busy: TimeDelta,
+    last_arrival: Time,
+}
+
+impl BandwidthTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> BandwidthTracker {
+        BandwidthTracker::default()
+    }
+
+    /// Records one transfer of duration `transfer` completing at
+    /// `arrival`.
+    pub fn record(&mut self, kind: AccessKind, transfer: TimeDelta, arrival: Time) {
+        match kind {
+            AccessKind::Read => self.reads += 1,
+            AccessKind::Write => self.writes += 1,
+        }
+        self.busy += transfer;
+        self.last_arrival = self.last_arrival.max(arrival);
+    }
+
+    /// Read transfers recorded.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Write transfers recorded.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// All transfers recorded.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total bus-busy time.
+    pub fn busy_time(&self) -> TimeDelta {
+        self.busy
+    }
+
+    /// Latest transfer completion observed.
+    pub fn last_arrival(&self) -> Time {
+        self.last_arrival
+    }
+
+    /// Bandwidth utilisation over a measurement `window`: busy time over
+    /// window length, clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn utilization(&self, window: TimeDelta) -> f64 {
+        assert!(window.picos() > 0, "window must be nonzero");
+        (self.busy.picos() as f64 / window.picos() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: f64) -> TimeDelta {
+        TimeDelta::from_ns_f64(v)
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let mut t = BandwidthTracker::new();
+        t.record(AccessKind::Read, ns(2.5), Time::ZERO + ns(10.0));
+        t.record(AccessKind::Read, ns(2.5), Time::ZERO + ns(20.0));
+        t.record(AccessKind::Write, ns(2.5), Time::ZERO + ns(15.0));
+        assert_eq!(t.reads(), 2);
+        assert_eq!(t.writes(), 1);
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.busy_time(), ns(7.5));
+        assert_eq!(t.last_arrival(), Time::ZERO + ns(20.0));
+    }
+
+    #[test]
+    fn utilization_is_busy_over_window() {
+        let mut t = BandwidthTracker::new();
+        for _ in 0..10 {
+            t.record(AccessKind::Read, ns(2.5), Time::ZERO);
+        }
+        assert!((t.utilization(ns(100.0)) - 0.25).abs() < 1e-12);
+        // Clamped at 1.
+        assert_eq!(t.utilization(ns(10.0)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_window_panics() {
+        BandwidthTracker::new().utilization(TimeDelta::ZERO);
+    }
+}

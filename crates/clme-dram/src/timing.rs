@@ -1,0 +1,522 @@
+//! The bank/bus backfill-reservation timing model.
+//!
+//! Every access resolves to: find the bank's first free interval after
+//! the request's issue time, pay the row-buffer outcome's latency (hit:
+//! tCL; closed: tRCD + tCL; conflict: tRP + tRCD + tCL), then find the
+//! channel data bus's first free 64-byte-transfer slot. The returned
+//! [`DramAccess::arrival`] is when the last beat crosses the bus — the
+//! moment the memory controller can start ECC/decryption work.
+//!
+//! Reservations use **first-fit backfill** rather than a monotone
+//! "next-free" cursor: the trace-driven core model issues requests whose
+//! timestamps are not globally sorted (a pointer-dependent load can be
+//! stamped microseconds after an independent load dispatched later), and
+//! a monotone cursor would queue early-stamped requests behind
+//! later-stamped ones, detaching the DRAM clock from the core clocks.
+//! With backfill, a request occupies the earliest genuinely free
+//! interval at or after its own timestamp, so idle bus time is usable by
+//! whoever's timestamp falls into it — which is also precisely the
+//! read-priority/write-drain behaviour of real controllers: background
+//! transfers (writebacks, metadata updates, prefetches) soak up idle
+//! slots and only displace demand reads when utilisation leaves no gaps.
+
+use crate::mapping::{AddressMapping, DramCoord};
+use crate::stats::BandwidthTracker;
+use clme_types::config::SystemConfig;
+use clme_types::{BlockAddr, Time, TimeDelta};
+
+/// Read or write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A read transfer (LLC miss fill, counter fetch, correction read).
+    Read,
+    /// A write transfer (LLC writeback, counter/tree update).
+    Write,
+}
+
+/// How an access met its bank's row buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RowOutcome {
+    /// The row was already open.
+    Hit,
+    /// The bank was idle (no open row): activate then access.
+    Closed,
+    /// Another row was open: precharge, activate, access.
+    Conflict,
+}
+
+/// The resolved timing of one DRAM access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramAccess {
+    /// When the transfer's last beat completes (data available / write
+    /// absorbed).
+    pub arrival: Time,
+    /// When the transfer began occupying the data bus.
+    pub bus_start: Time,
+    /// Row-buffer outcome.
+    pub row: RowOutcome,
+    /// The bank coordinate used (exposed for tests and detailed stats).
+    pub coord: DramCoord,
+    /// When the bank began serving this request.
+    pub bank_start: Time,
+    /// When the array access finished (data at the sense amps).
+    pub array_done: Time,
+}
+
+/// How far behind the newest observed timestamp a reservation may still
+/// land; request timestamps are disordered by at most the core's ROB
+/// lookahead (a few µs), so 50 µs is generous.
+const RESERVATION_HORIZON: TimeDelta = TimeDelta::from_us(50);
+
+/// A sorted list of busy intervals with first-fit reservation and
+/// adjacent-interval coalescing (so a saturated resource collapses to a
+/// single long interval instead of thousands of slots).
+#[derive(Clone, Debug, Default)]
+struct Reservations {
+    /// Non-overlapping `(start, end)` picosecond intervals, sorted.
+    busy: Vec<(u64, u64)>,
+    floor: u64,
+}
+
+impl Reservations {
+    /// Reserves `dur` at the earliest free point ≥ `at`; returns the
+    /// reserved start time.
+    fn reserve(&mut self, at: Time, dur: TimeDelta) -> Time {
+        let dur = dur.picos();
+        debug_assert!(dur > 0);
+        let mut t = at.picos().max(self.floor);
+        for &(s, e) in self.busy.iter() {
+            if e <= t {
+                continue;
+            }
+            if s >= t + dur {
+                break; // the gap [t, s) fits
+            }
+            t = e;
+        }
+        let idx = self.busy.partition_point(|&(s, _)| s < t);
+        // Coalesce with neighbours where the new interval abuts them.
+        let end = t + dur;
+        let merge_prev = idx > 0 && self.busy[idx - 1].1 == t;
+        let merge_next = idx < self.busy.len() && self.busy[idx].0 == end;
+        match (merge_prev, merge_next) {
+            (true, true) => {
+                self.busy[idx - 1].1 = self.busy[idx].1;
+                self.busy.remove(idx);
+            }
+            (true, false) => self.busy[idx - 1].1 = end,
+            (false, true) => self.busy[idx].0 = t,
+            (false, false) => self.busy.insert(idx, (t, end)),
+        }
+        Time::from_picos(t)
+    }
+
+    /// Drops intervals that ended at or before `before` and forbids new
+    /// reservations from starting before it.
+    fn prune(&mut self, before: Time) {
+        let b = before.picos();
+        if b <= self.floor {
+            return;
+        }
+        self.floor = b;
+        let keep_from = self.busy.partition_point(|&(_, e)| e <= b);
+        if keep_from > 0 {
+            self.busy.drain(..keep_from);
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.busy.len()
+    }
+}
+
+/// The DRAM device model: per-bank row state and busy intervals plus a
+/// per-channel data bus.
+///
+/// # Examples
+///
+/// ```
+/// use clme_dram::timing::{AccessKind, Dram, RowOutcome};
+/// use clme_types::{BlockAddr, SystemConfig, Time};
+///
+/// let mut dram = Dram::new(&SystemConfig::isca_table1());
+/// let first = dram.access(BlockAddr::new(0), AccessKind::Read, Time::ZERO);
+/// assert_eq!(first.row, RowOutcome::Closed);
+/// let second = dram.access(BlockAddr::new(1), AccessKind::Read, first.arrival);
+/// assert_eq!(second.row, RowOutcome::Hit);
+/// assert!(second.arrival - first.arrival < first.arrival - Time::ZERO);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dram {
+    mapping: AddressMapping,
+    bank_rows: Vec<Option<u64>>,
+    bank_busy: Vec<Reservations>,
+    bus_busy: Vec<Reservations>,
+    t_cl: TimeDelta,
+    t_rcd: TimeDelta,
+    t_rp: TimeDelta,
+    transfer: TimeDelta,
+    tracker: BandwidthTracker,
+    activations: u64,
+    max_stamp: Time,
+    accesses_since_prune: u32,
+}
+
+impl Dram {
+    /// Builds the DRAM model from a system configuration.
+    pub fn new(cfg: &SystemConfig) -> Dram {
+        let mapping = AddressMapping::new(cfg);
+        let total_banks = (cfg.channels * mapping.banks_per_channel()) as usize;
+        Dram {
+            bank_rows: vec![None; total_banks],
+            bank_busy: vec![Reservations::default(); total_banks],
+            bus_busy: vec![Reservations::default(); cfg.channels as usize],
+            mapping,
+            t_cl: cfg.t_cl,
+            t_rcd: cfg.t_rcd,
+            t_rp: cfg.t_rp,
+            transfer: cfg.block_transfer_time(),
+            tracker: BandwidthTracker::new(),
+            activations: 0,
+            max_stamp: Time::ZERO,
+            accesses_since_prune: 0,
+        }
+    }
+
+    /// Performs one *demand* 64-byte access issued at time `at`,
+    /// returning its resolved timing.
+    pub fn access(&mut self, block: BlockAddr, kind: AccessKind, at: Time) -> DramAccess {
+        let coord = self.mapping.coord(block);
+        self.housekeeping(at);
+        let bank_index = (coord.channel * self.mapping.banks_per_channel() + coord.bank) as usize;
+
+        let (row_outcome, array_latency) = match self.bank_rows[bank_index] {
+            Some(open) if open == coord.row => (RowOutcome::Hit, self.t_cl),
+            Some(_) => (RowOutcome::Conflict, self.t_rp + self.t_rcd + self.t_cl),
+            None => (RowOutcome::Closed, self.t_rcd + self.t_cl),
+        };
+        if row_outcome != RowOutcome::Hit {
+            self.activations += 1;
+        }
+        self.bank_rows[bank_index] = Some(coord.row);
+
+        let bank_start = self.bank_busy[bank_index].reserve(at, array_latency);
+        let array_done = bank_start + array_latency;
+        let bus_start = self.bus_busy[coord.channel as usize].reserve(array_done, self.transfer);
+        let arrival = bus_start + self.transfer;
+
+        self.tracker.record(kind, self.transfer, arrival);
+        DramAccess {
+            arrival,
+            bus_start,
+            row: row_outcome,
+            coord,
+            bank_start,
+            array_done,
+        }
+    }
+
+    /// Posts one *background* 64-byte transfer (LLC writeback data,
+    /// writeback-path metadata, prefetch fill) at time `at`; returns its
+    /// transfer completion.
+    ///
+    /// Background transfers backfill idle bus slots like demand transfers
+    /// do but skip the bank model (controllers schedule them to idle
+    /// banks opportunistically). When utilisation is low they land in
+    /// gaps no demand read wanted; when it is high they genuinely
+    /// compete — which is when Counter-light's epoch switch turns them
+    /// off.
+    pub fn background_access(&mut self, block: BlockAddr, kind: AccessKind, at: Time) -> Time {
+        let coord = self.mapping.coord(block);
+        self.housekeeping(at);
+        let bus_start = self.bus_busy[coord.channel as usize].reserve(at, self.transfer);
+        let arrival = bus_start + self.transfer;
+        self.tracker.record(kind, self.transfer, arrival);
+        arrival
+    }
+
+    fn housekeeping(&mut self, at: Time) {
+        self.max_stamp = self.max_stamp.max(at);
+        self.accesses_since_prune += 1;
+        if self.accesses_since_prune >= 1024 {
+            self.accesses_since_prune = 0;
+            let cutoff = Time::from_picos(
+                self.max_stamp
+                    .picos()
+                    .saturating_sub(RESERVATION_HORIZON.picos()),
+            );
+            for bank in &mut self.bank_busy {
+                bank.prune(cutoff);
+            }
+            for bus in &mut self.bus_busy {
+                bus.prune(cutoff);
+            }
+        }
+    }
+
+    /// Bandwidth/traffic statistics.
+    pub fn tracker(&self) -> &BandwidthTracker {
+        &self.tracker
+    }
+
+    /// Total row activations (for the energy model).
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Resets statistics (not bank state), e.g. after warm-up.
+    pub fn reset_stats(&mut self) {
+        self.tracker = BandwidthTracker::new();
+        self.activations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(&SystemConfig::isca_table1())
+    }
+
+    fn ns(v: f64) -> TimeDelta {
+        TimeDelta::from_ns_f64(v)
+    }
+
+    #[test]
+    fn closed_row_pays_rcd_plus_cl() {
+        let mut d = dram();
+        let a = d.access(BlockAddr::new(0), AccessKind::Read, Time::ZERO);
+        assert_eq!(a.row, RowOutcome::Closed);
+        // 13.75 + 13.75 + 2.5 transfer = 30 ns.
+        assert_eq!(a.arrival, Time::ZERO + ns(30.0));
+    }
+
+    #[test]
+    fn row_hit_pays_cl_only() {
+        let mut d = dram();
+        let first = d.access(BlockAddr::new(0), AccessKind::Read, Time::ZERO);
+        let second = d.access(BlockAddr::new(1), AccessKind::Read, first.arrival);
+        assert_eq!(second.row, RowOutcome::Hit);
+        assert_eq!(second.arrival - first.arrival, ns(13.75) + ns(2.5));
+    }
+
+    #[test]
+    fn row_conflict_pays_full_cycle() {
+        let mut d = dram();
+        let cfg = SystemConfig::isca_table1();
+        let blocks_per_row = cfg.row_bytes / 64;
+        let banks = (cfg.ranks * cfg.banks_per_rank) as u64;
+        let conflicting = BlockAddr::new(blocks_per_row * banks);
+        let first = d.access(BlockAddr::new(0), AccessKind::Read, Time::ZERO);
+        let second = d.access(conflicting, AccessKind::Read, first.arrival);
+        assert_eq!(second.row, RowOutcome::Conflict);
+        assert_eq!(second.arrival - first.arrival, ns(13.75) * 3 + ns(2.5));
+    }
+
+    #[test]
+    fn bus_serialises_concurrent_banks() {
+        let mut d = dram();
+        let cfg = SystemConfig::isca_table1();
+        let blocks_per_row = cfg.row_bytes / 64;
+        // Two different banks at the same instant: array latencies
+        // overlap, data transfers serialise.
+        let a = d.access(BlockAddr::new(0), AccessKind::Read, Time::ZERO);
+        let b = d.access(BlockAddr::new(blocks_per_row), AccessKind::Read, Time::ZERO);
+        assert_ne!(a.coord.bank, b.coord.bank);
+        assert_eq!(b.bus_start, a.arrival, "second transfer waits for the bus");
+        assert_eq!(b.arrival - a.arrival, ns(2.5));
+    }
+
+    #[test]
+    fn same_bank_requests_serialise_at_the_bank() {
+        let mut d = dram();
+        let a = d.access(BlockAddr::new(0), AccessKind::Read, Time::ZERO);
+        let b = d.access(BlockAddr::new(2), AccessKind::Read, Time::ZERO);
+        assert!(b.bank_start >= a.array_done);
+        assert!(b.arrival > a.arrival);
+    }
+
+    #[test]
+    fn early_stamped_request_backfills_idle_time() {
+        // The property the monotone-cursor model lacked: after a request
+        // far in the future, an early-stamped request to another bank
+        // still uses the idle bus before it.
+        let mut d = dram();
+        let cfg = SystemConfig::isca_table1();
+        let blocks_per_row = cfg.row_bytes / 64;
+        let late = d.access(
+            BlockAddr::new(0),
+            AccessKind::Read,
+            Time::ZERO + TimeDelta::from_us(10),
+        );
+        let early = d.access(BlockAddr::new(blocks_per_row), AccessKind::Read, Time::ZERO);
+        assert!(early.arrival < late.arrival, "backfill must serve the early request first");
+        assert_eq!(early.arrival, Time::ZERO + ns(30.0));
+    }
+
+    #[test]
+    fn writes_occupy_bus_like_reads() {
+        let mut d = dram();
+        let w = d.access(BlockAddr::new(0), AccessKind::Write, Time::ZERO);
+        let r = d.access(BlockAddr::new(128), AccessKind::Read, Time::ZERO);
+        assert_eq!(r.bus_start, w.arrival);
+    }
+
+    #[test]
+    fn background_fills_gaps_without_delaying_later_demand() {
+        let mut d = dram();
+        let a = d.access(BlockAddr::new(0), AccessKind::Read, Time::ZERO);
+        let bg = d.background_access(BlockAddr::new(500), AccessKind::Write, Time::ZERO);
+        assert!(bg > Time::ZERO);
+        // A later demand read finds free bus despite the background write.
+        let later_issue = a.arrival + TimeDelta::from_us(1);
+        let b = d.access(BlockAddr::new(1), AccessKind::Read, later_issue);
+        assert_eq!(b.arrival, later_issue + ns(13.75) + ns(2.5));
+    }
+
+    #[test]
+    fn saturated_bus_makes_background_queue() {
+        let mut d = Dram::new(&SystemConfig::low_bandwidth());
+        let mut last = Time::ZERO;
+        for i in 0..64u64 {
+            last = d
+                .access(BlockAddr::new(i), AccessKind::Read, Time::ZERO)
+                .arrival;
+        }
+        // Early gaps absorb the first few background writes, but a burst
+        // of them must eventually queue past the demand transfers.
+        let mut bg = Time::ZERO;
+        for i in 0..200u64 {
+            bg = d.background_access(BlockAddr::new(4096 + i), AccessKind::Write, Time::ZERO);
+        }
+        assert!(bg >= last, "bg {bg} must queue past the burst ending {last}");
+    }
+
+    #[test]
+    fn low_bandwidth_quadruples_transfer_time() {
+        let mut d = Dram::new(&SystemConfig::low_bandwidth());
+        let a = d.access(BlockAddr::new(0), AccessKind::Read, Time::ZERO);
+        assert_eq!(a.arrival, Time::ZERO + ns(37.5));
+    }
+
+    #[test]
+    fn activations_counted_for_non_hits() {
+        let mut d = dram();
+        d.access(BlockAddr::new(0), AccessKind::Read, Time::ZERO); // closed
+        d.access(BlockAddr::new(1), AccessKind::Read, Time::ZERO); // hit
+        let cfg = SystemConfig::isca_table1();
+        let far = BlockAddr::new((cfg.row_bytes / 64) * (cfg.ranks * cfg.banks_per_rank) as u64);
+        d.access(far, AccessKind::Read, Time::ZERO); // conflict
+        assert_eq!(d.activations(), 2);
+    }
+
+    #[test]
+    fn tracker_accumulates_traffic() {
+        let mut d = dram();
+        d.access(BlockAddr::new(0), AccessKind::Read, Time::ZERO);
+        d.access(BlockAddr::new(1), AccessKind::Write, Time::ZERO);
+        assert_eq!(d.tracker().reads(), 1);
+        assert_eq!(d.tracker().writes(), 1);
+        assert_eq!(d.tracker().busy_time(), ns(5.0));
+        let mut d2 = d.clone();
+        d2.reset_stats();
+        assert_eq!(d2.tracker().reads(), 0);
+    }
+
+    #[test]
+    fn reservations_first_fit_and_coalesce() {
+        let mut r = Reservations::default();
+        let a = r.reserve(Time::ZERO, ns(10.0));
+        assert_eq!(a, Time::ZERO);
+        // Second at t=0 lands right after the first (coalesced).
+        let b = r.reserve(Time::ZERO, ns(10.0));
+        assert_eq!(b, Time::ZERO + ns(10.0));
+        assert_eq!(r.len(), 1, "abutting intervals coalesce");
+        // A later slot, leaving a gap.
+        let c = r.reserve(Time::ZERO + ns(100.0), ns(10.0));
+        assert_eq!(c, Time::ZERO + ns(100.0));
+        // Backfill into the gap between 20 and 100.
+        let d = r.reserve(Time::ZERO + ns(30.0), ns(10.0));
+        assert_eq!(d, Time::ZERO + ns(30.0));
+        // A request wanting more room than a gap offers skips it.
+        let e = r.reserve(Time::ZERO + ns(12.0), ns(15.0));
+        assert_eq!(e, Time::ZERO + ns(40.0));
+    }
+
+    #[test]
+    fn reservations_prune_and_floor() {
+        let mut r = Reservations::default();
+        r.reserve(Time::ZERO, ns(10.0));
+        r.prune(Time::ZERO + ns(50.0));
+        assert_eq!(r.len(), 0);
+        // Requests older than the floor are clamped to it.
+        let s = r.reserve(Time::ZERO, ns(10.0));
+        assert_eq!(s, Time::ZERO + ns(50.0));
+    }
+
+    #[test]
+    fn long_run_interval_lists_stay_small() {
+        let mut d = dram();
+        let mut rng = clme_types::rng::Xoshiro256::seed_from(1);
+        let mut t = Time::ZERO;
+        for _ in 0..50_000 {
+            t += TimeDelta::from_picos(1 + rng.below(10_000));
+            d.access(BlockAddr::new(rng.below(1 << 22)), AccessKind::Read, t);
+            if rng.chance(0.5) {
+                d.background_access(BlockAddr::new(rng.below(1 << 22)), AccessKind::Write, t);
+            }
+        }
+        let bus: usize = d.bus_busy.iter().map(Reservations::len).sum();
+        let banks: usize = d.bank_busy.iter().map(Reservations::len).sum();
+        assert!(bus < 100_000, "bus interval list exploded: {bus}");
+        assert!(banks < 200_000, "bank interval lists exploded: {banks}");
+    }
+}
+
+#[cfg(test)]
+mod reservation_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// After any sequence of reservations, the busy list is sorted,
+        /// non-overlapping, and every reservation started at or after its
+        /// requested time.
+        #[test]
+        fn intervals_stay_sorted_and_disjoint(
+            requests in prop::collection::vec((0u64..1_000_000, 1u64..5_000), 1..200)
+        ) {
+            let mut r = Reservations::default();
+            for &(at, dur) in &requests {
+                let start = r.reserve(Time::from_picos(at), TimeDelta::from_picos(dur));
+                prop_assert!(start.picos() >= at);
+            }
+            for pair in r.busy.windows(2) {
+                prop_assert!(pair[0].1 <= pair[1].0, "overlap: {:?}", pair);
+            }
+            let total: u64 = r.busy.iter().map(|&(s, e)| e - s).sum();
+            let requested: u64 = requests.iter().map(|&(_, d)| d).sum();
+            prop_assert_eq!(total, requested, "reserved time must be conserved");
+        }
+
+        /// Demand accesses always arrive after their issue time and
+        /// arrivals on one bank never regress below the array occupancy.
+        #[test]
+        fn accesses_respect_causality(
+            stamps in prop::collection::vec((0u64..10_000_000, 0u64..(1 << 22)), 1..200)
+        ) {
+            let mut d = Dram::new(&SystemConfig::isca_table1());
+            for &(at, block) in &stamps {
+                let access = d.access(BlockAddr::new(block), AccessKind::Read, Time::from_picos(at));
+                prop_assert!(access.bank_start.picos() >= at);
+                prop_assert!(access.array_done > access.bank_start);
+                prop_assert!(access.bus_start >= access.array_done);
+                prop_assert!(access.arrival > access.bus_start);
+            }
+        }
+    }
+}

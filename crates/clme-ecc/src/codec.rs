@@ -1,0 +1,131 @@
+//! Parity encode/decode with the EncryptionMetadata folded in
+//! (Section IV-C, Fig. 12).
+//!
+//! * **LLC writeback:** `parity = MetaWord ⊕ D1 ⊕ … ⊕ D8 ⊕ MAC`.
+//! * **LLC read miss:** `MetaWord = parity ⊕ D1 ⊕ … ⊕ D8 ⊕ MAC`, a
+//!   log₂(9) = 4-level XOR tree in hardware — and crucially available as
+//!   soon as the lanes have arrived, with **zero** extra memory traffic.
+//!
+//! The *original* Synergy parity (without the MetaWord) is recovered by
+//! XORing the MetaWord back out, which [`synergy_parity`] does for the
+//! correction procedure.
+
+use crate::encmeta::MetaWord;
+use crate::layout::EncodedBlock;
+
+/// Encodes a block: ciphertext lanes + MAC + MetaWord → stored block.
+///
+/// # Examples
+///
+/// ```
+/// use clme_ecc::{codec, encmeta::MetaWord};
+///
+/// let block = codec::encode(&[1; 64], 42, MetaWord::counterless());
+/// assert_eq!(codec::decode_meta(&block), MetaWord::counterless());
+/// ```
+pub fn encode(ciphertext: &[u8; 64], mac: u64, meta: MetaWord) -> EncodedBlock {
+    let mut block = EncodedBlock::from_data(*ciphertext, mac, 0);
+    block.parity = meta.to_raw() ^ block.lanes_xor() ^ mac;
+    block
+}
+
+/// Decodes the MetaWord from a fetched block's parity.
+pub fn decode_meta(block: &EncodedBlock) -> MetaWord {
+    MetaWord::from_raw(block.parity ^ block.lanes_xor() ^ block.mac)
+}
+
+/// Recovers the original Synergy parity (Fig. 3's `⊕Dᵢ ⊕ MAC`) under a
+/// *hypothesised* MetaWord — the first step of every correction trial
+/// (Section IV-C, "Error Correction").
+pub fn synergy_parity(block: &EncodedBlock, assumed_meta: MetaWord) -> u64 {
+    block.parity ^ assumed_meta.to_raw()
+}
+
+/// Checks that a block's parity is consistent with its lanes, MAC, and a
+/// claimed MetaWord (used by tests and the functional model's fast path).
+pub fn parity_consistent(block: &EncodedBlock, meta: MetaWord) -> bool {
+    decode_meta(block) == meta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encmeta::EncMeta;
+    use clme_types::rng::Xoshiro256;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut rng = Xoshiro256::seed_from(5);
+        for _ in 0..64 {
+            let mut ct = [0u8; 64];
+            rng.fill_bytes(&mut ct);
+            let mac = rng.next_u64();
+            let meta = if rng.chance(0.5) {
+                MetaWord::counter(rng.next_u64() as u32 & 0x7FFF_FFFF)
+            } else {
+                MetaWord::counterless()
+            };
+            let block = encode(&ct, mac, meta);
+            assert_eq!(decode_meta(&block), meta);
+            assert_eq!(block.data(), ct);
+            assert_eq!(block.mac, mac);
+        }
+    }
+
+    #[test]
+    fn meta_changes_only_parity() {
+        let ct = [0x11u8; 64];
+        let a = encode(&ct, 7, MetaWord::counter(1));
+        let b = encode(&ct, 7, MetaWord::counter(2));
+        assert_eq!(a.lanes, b.lanes);
+        assert_eq!(a.mac, b.mac);
+        assert_ne!(a.parity, b.parity);
+        assert_eq!(a.parity ^ b.parity, 1 ^ 2);
+    }
+
+    #[test]
+    fn synergy_parity_removes_meta() {
+        let ct = [0xFEu8; 64];
+        let meta = MetaWord::counter(99);
+        let block = encode(&ct, 3, meta);
+        // With the correct meta removed, the parity equals ⊕lanes ⊕ MAC.
+        assert_eq!(synergy_parity(&block, meta), block.lanes_xor() ^ block.mac);
+    }
+
+    #[test]
+    fn lane_corruption_corrupts_decoded_meta() {
+        // A single-chip error makes the decoded MetaWord wrong — which is
+        // why correction must hypothesise both possible values (Fig. 14).
+        let block = encode(&[0u8; 64], 0, MetaWord::counter(5));
+        let mut bad = block;
+        bad.lanes[3] ^= 0xFF00;
+        assert_ne!(decode_meta(&bad), MetaWord::counter(5));
+        assert_eq!(
+            decode_meta(&bad).to_raw(),
+            MetaWord::counter(5).to_raw() ^ 0xFF00
+        );
+    }
+
+    #[test]
+    fn parity_consistency_check() {
+        let block = encode(&[9u8; 64], 1, MetaWord::counterless());
+        assert!(parity_consistent(&block, MetaWord::counterless()));
+        assert!(!parity_consistent(&block, MetaWord::counter(0)));
+    }
+
+    #[test]
+    fn counterless_flag_survives_round_trip() {
+        let block = encode(&[0xAAu8; 64], 0x1234, MetaWord::counterless());
+        assert!(decode_meta(&block).meta.is_counterless());
+        assert_eq!(decode_meta(&block).meta, EncMeta::Counterless);
+    }
+
+    #[test]
+    fn aux_field_round_trips_independently() {
+        let meta = MetaWord::new(EncMeta::Counter(77), 0xCAFE_F00D);
+        let block = encode(&[3u8; 64], 9, meta);
+        let decoded = decode_meta(&block);
+        assert_eq!(decoded.aux, 0xCAFE_F00D);
+        assert_eq!(decoded.meta, EncMeta::Counter(77));
+    }
+}

@@ -1,0 +1,194 @@
+//! The EncryptionMetadata word (Section IV-C).
+//!
+//! Counter-light encodes into each data block "the block's encryption
+//! mode and counter value ... as one unified word". With an `n = 32`-bit
+//! word, counter values `0 ..= 2³² − 2` mean *counter mode with that
+//! counter*; the maximum word value `2³² − 1` is the flag for
+//! *counterless mode*. A block whose counter would reach the flag value
+//! permanently switches to counterless mode until reboot.
+//!
+//! The parity lane is 8 bytes, so 4 bytes remain next to the
+//! EncryptionMetadata; the paper reserves them "to encode other extra
+//! information (e.g., locks for spatial safety)" — modelled here as the
+//! [`MetaWord::aux`] field.
+
+/// The flag value marking a block as counterless-encrypted (`2³² − 1`).
+pub const COUNTERLESS_FLAG: u32 = u32::MAX;
+
+/// Maximum counter value a block may carry (`2³² − 2`).
+pub const MAX_COUNTER: u32 = u32::MAX - 1;
+
+/// A block's encryption mode + counter, packed as the paper's 4-byte
+/// EncryptionMetadata.
+///
+/// # Examples
+///
+/// ```
+/// use clme_ecc::encmeta::EncMeta;
+///
+/// assert!(EncMeta::Counterless.is_counterless());
+/// assert_eq!(EncMeta::Counter(9).counter(), Some(9));
+/// assert_eq!(EncMeta::from_raw(u32::MAX), EncMeta::Counterless);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EncMeta {
+    /// Counter mode with the given write-counter value (`≤ 2³² − 2`).
+    Counter(u32),
+    /// Counterless (XTS) mode — the `2³² − 1` flag.
+    Counterless,
+}
+
+impl EncMeta {
+    /// Decodes a raw 4-byte word.
+    pub fn from_raw(raw: u32) -> EncMeta {
+        if raw == COUNTERLESS_FLAG {
+            EncMeta::Counterless
+        } else {
+            EncMeta::Counter(raw)
+        }
+    }
+
+    /// Encodes to the raw 4-byte word.
+    pub fn to_raw(self) -> u32 {
+        match self {
+            EncMeta::Counter(c) => c,
+            EncMeta::Counterless => COUNTERLESS_FLAG,
+        }
+    }
+
+    /// Whether this is the counterless flag.
+    pub fn is_counterless(self) -> bool {
+        matches!(self, EncMeta::Counterless)
+    }
+
+    /// The counter value, if in counter mode.
+    pub fn counter(self) -> Option<u32> {
+        match self {
+            EncMeta::Counter(c) => Some(c),
+            EncMeta::Counterless => None,
+        }
+    }
+
+    /// The counter after one more write, or `None` when the increment
+    /// would collide with the counterless flag — the "naturally switches
+    /// to counterless encryption permanently" overflow case of
+    /// Section IV-C.
+    pub fn incremented(self) -> Option<EncMeta> {
+        match self {
+            EncMeta::Counter(c) if c < MAX_COUNTER => Some(EncMeta::Counter(c + 1)),
+            _ => None,
+        }
+    }
+}
+
+impl Default for EncMeta {
+    /// Blocks start in counter mode with counter 0.
+    fn default() -> EncMeta {
+        EncMeta::Counter(0)
+    }
+}
+
+/// The full 8-byte word XORed into the parity lane: the 4-byte
+/// EncryptionMetadata plus the 4-byte auxiliary field.
+///
+/// # Examples
+///
+/// ```
+/// use clme_ecc::encmeta::{EncMeta, MetaWord};
+///
+/// let w = MetaWord::new(EncMeta::Counter(3), 0xBEEF);
+/// assert_eq!(MetaWord::from_raw(w.to_raw()), w);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct MetaWord {
+    /// The encryption mode / counter word.
+    pub meta: EncMeta,
+    /// The reserved extra-information field (e.g. spatial-safety locks);
+    /// zero in this reproduction unless a test sets it.
+    pub aux: u32,
+}
+
+impl MetaWord {
+    /// Creates a word from its two halves.
+    pub fn new(meta: EncMeta, aux: u32) -> MetaWord {
+        MetaWord { meta, aux }
+    }
+
+    /// Counter-mode word with zero aux.
+    pub fn counter(counter: u32) -> MetaWord {
+        MetaWord::new(EncMeta::Counter(counter), 0)
+    }
+
+    /// Counterless word with zero aux.
+    pub fn counterless() -> MetaWord {
+        MetaWord::new(EncMeta::Counterless, 0)
+    }
+
+    /// Packs into the 8-byte lane representation (EncMeta low, aux high).
+    pub fn to_raw(self) -> u64 {
+        self.meta.to_raw() as u64 | ((self.aux as u64) << 32)
+    }
+
+    /// Unpacks from the 8-byte lane representation.
+    pub fn from_raw(raw: u64) -> MetaWord {
+        MetaWord {
+            meta: EncMeta::from_raw(raw as u32),
+            aux: (raw >> 32) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_round_trip_all_modes() {
+        for raw in [0u32, 1, 12345, MAX_COUNTER, COUNTERLESS_FLAG] {
+            assert_eq!(EncMeta::from_raw(raw).to_raw(), raw);
+        }
+    }
+
+    #[test]
+    fn flag_is_max_word() {
+        assert_eq!(EncMeta::Counterless.to_raw(), u32::MAX);
+        assert_eq!(EncMeta::Counter(MAX_COUNTER).to_raw(), u32::MAX - 1);
+    }
+
+    #[test]
+    fn increment_normal() {
+        assert_eq!(EncMeta::Counter(0).incremented(), Some(EncMeta::Counter(1)));
+        assert_eq!(
+            EncMeta::Counter(MAX_COUNTER - 1).incremented(),
+            Some(EncMeta::Counter(MAX_COUNTER))
+        );
+    }
+
+    #[test]
+    fn increment_at_max_switches_permanently() {
+        // Incrementing past 2^32-2 would collide with the flag; the paper
+        // switches the block to counterless permanently.
+        assert_eq!(EncMeta::Counter(MAX_COUNTER).incremented(), None);
+        assert_eq!(EncMeta::Counterless.incremented(), None);
+    }
+
+    #[test]
+    fn default_is_counter_zero() {
+        assert_eq!(EncMeta::default(), EncMeta::Counter(0));
+    }
+
+    #[test]
+    fn meta_word_packing() {
+        let w = MetaWord::new(EncMeta::Counter(0xDEAD), 0xBEEF);
+        assert_eq!(w.to_raw(), 0x0000_BEEF_0000_DEAD);
+        assert_eq!(MetaWord::from_raw(w.to_raw()), w);
+        assert_eq!(MetaWord::counterless().to_raw(), 0x0000_0000_FFFF_FFFF);
+    }
+
+    #[test]
+    fn counter_accessor() {
+        assert_eq!(EncMeta::Counter(5).counter(), Some(5));
+        assert_eq!(EncMeta::Counterless.counter(), None);
+        assert!(!EncMeta::Counter(5).is_counterless());
+    }
+}

@@ -1,0 +1,122 @@
+//! Byte-sample entropy of a 64-byte block (Section IV-E).
+//!
+//! The paper disambiguates correction trials by observing that *wrongly*
+//! decrypted data looks like fresh ciphertext — high entropy — while real
+//! plaintext is structured. With 64 byte-samples per block, the Shannon
+//! entropy of the byte-value histogram is at most log₂(64) = 6 bits; the
+//! paper reports ≥ 99.9% of wrongly decrypted blocks have entropy ≥ 5.5
+//! while all original plaintexts fall below 5.5.
+
+use std::collections::HashMap;
+
+/// The theoretical maximum entropy of a 64-sample histogram (6 bits).
+pub const MAX_ENTROPY: f64 = 6.0;
+
+/// The paper's plaintext-vs-ciphertext decision threshold.
+pub const CIPHERTEXT_THRESHOLD: f64 = 5.5;
+
+/// Shannon entropy (bits) of the byte-value histogram of a 64-byte block.
+///
+/// # Examples
+///
+/// ```
+/// use clme_ecc::entropy::block_entropy;
+///
+/// assert_eq!(block_entropy(&[0; 64]), 0.0); // constant block
+/// let distinct: [u8; 64] = core::array::from_fn(|i| i as u8);
+/// assert!((block_entropy(&distinct) - 6.0).abs() < 1e-12); // all distinct
+/// ```
+pub fn block_entropy(block: &[u8; 64]) -> f64 {
+    let mut histogram: HashMap<u8, u32> = HashMap::new();
+    for &byte in block.iter() {
+        *histogram.entry(byte).or_insert(0) += 1;
+    }
+    let n = block.len() as f64;
+    histogram
+        .values()
+        .map(|&count| {
+            let p = count as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Whether a decrypted block *looks like ciphertext* (wrong decryption)
+/// under the paper's ≥ 5.5-bit rule.
+pub fn looks_like_ciphertext(block: &[u8; 64]) -> bool {
+    block_entropy(block) >= CIPHERTEXT_THRESHOLD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clme_types::rng::Xoshiro256;
+
+    #[test]
+    fn constant_block_has_zero_entropy() {
+        assert_eq!(block_entropy(&[0x41; 64]), 0.0);
+        assert!(!looks_like_ciphertext(&[0x41; 64]));
+    }
+
+    #[test]
+    fn two_values_give_one_bit() {
+        let mut block = [0u8; 64];
+        for byte in block.iter_mut().skip(32) {
+            *byte = 1;
+        }
+        assert!((block_entropy(&block) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_distinct_hits_max() {
+        let block: [u8; 64] = core::array::from_fn(|i| (i * 4) as u8);
+        assert!((block_entropy(&block) - MAX_ENTROPY).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_ciphertext_exceeds_threshold() {
+        // Random bytes almost always land ≥ 5.5 bits — the paper's
+        // observation that wrong decryptions look random.
+        let mut rng = Xoshiro256::seed_from(2024);
+        let mut above = 0;
+        let trials = 2_000;
+        for _ in 0..trials {
+            let mut block = [0u8; 64];
+            rng.fill_bytes(&mut block);
+            if looks_like_ciphertext(&block) {
+                above += 1;
+            }
+        }
+        let frac = above as f64 / trials as f64;
+        assert!(frac >= 0.999, "only {frac} of random blocks ≥ 5.5 bits");
+    }
+
+    #[test]
+    fn structured_plaintexts_fall_below_threshold() {
+        // Typical program data: small integers, pointers sharing high
+        // bytes, text — all strongly repeat byte values.
+        let mut pointer_block = [0u8; 64];
+        for (i, chunk) in pointer_block.chunks_mut(8).enumerate() {
+            let ptr = 0x0000_7F80_1000_0000u64 + (i as u64) * 0x40;
+            chunk.copy_from_slice(&ptr.to_le_bytes());
+        }
+        assert!(!looks_like_ciphertext(&pointer_block));
+
+        let mut int_block = [0u8; 64];
+        for (i, chunk) in int_block.chunks_mut(4).enumerate() {
+            chunk.copy_from_slice(&(i as u32).to_le_bytes());
+        }
+        assert!(!looks_like_ciphertext(&int_block));
+
+        let text: [u8; 64] = *b"the quick brown fox jumps over the lazy dog and keeps running!!\n";
+        assert!(!looks_like_ciphertext(&text));
+    }
+
+    #[test]
+    fn entropy_is_permutation_invariant() {
+        let a: [u8; 64] = core::array::from_fn(|i| (i % 7) as u8);
+        let mut b = a;
+        b.reverse();
+        assert_eq!(block_entropy(&a), block_entropy(&b));
+    }
+}

@@ -1,0 +1,145 @@
+//! Chip-fault injection for reliability experiments (Section IV-E).
+//!
+//! Chipkill-correct targets *single-chip* errors per rank: any corruption
+//! confined to one chip's 8-byte lane must be corrected; errors across two
+//! or more chips become detected-uncorrectable errors (DUEs).
+
+use crate::layout::{Chip, EncodedBlock};
+use clme_types::rng::Xoshiro256;
+
+/// A deterministic fault injector.
+///
+/// # Examples
+///
+/// ```
+/// use clme_ecc::{inject::FaultInjector, layout::EncodedBlock};
+///
+/// let mut injector = FaultInjector::new(7);
+/// let mut block = EncodedBlock::default();
+/// let chip = injector.corrupt_random_chip(&mut block);
+/// assert_ne!(block.lane(chip), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    rng: Xoshiro256,
+}
+
+impl FaultInjector {
+    /// Creates an injector with a deterministic seed.
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector {
+            rng: Xoshiro256::seed_from(seed),
+        }
+    }
+
+    /// Flips a random nonzero pattern within one specific chip's lane.
+    pub fn corrupt_chip(&mut self, block: &mut EncodedBlock, chip: Chip) {
+        let flips = self.nonzero_pattern();
+        block.set_lane(chip, block.lane(chip) ^ flips);
+    }
+
+    /// Flips a single random bit within one specific chip's lane (the
+    /// most common DRAM fault mode).
+    pub fn flip_one_bit(&mut self, block: &mut EncodedBlock, chip: Chip) {
+        let bit = self.rng.below(64);
+        block.set_lane(chip, block.lane(chip) ^ (1u64 << bit));
+    }
+
+    /// Corrupts one uniformly chosen chip; returns which.
+    pub fn corrupt_random_chip(&mut self, block: &mut EncodedBlock) -> Chip {
+        let chip = Chip::all()[self.rng.below(10) as usize];
+        self.corrupt_chip(block, chip);
+        chip
+    }
+
+    /// Corrupts two *distinct* random chips (beyond chipkill's guarantee);
+    /// returns both.
+    pub fn corrupt_two_chips(&mut self, block: &mut EncodedBlock) -> (Chip, Chip) {
+        let first = self.rng.below(10) as usize;
+        let mut second = self.rng.below(9) as usize;
+        if second >= first {
+            second += 1;
+        }
+        let chips = Chip::all();
+        self.corrupt_chip(block, chips[first]);
+        self.corrupt_chip(block, chips[second]);
+        (chips[first], chips[second])
+    }
+
+    fn nonzero_pattern(&mut self) -> u64 {
+        loop {
+            let p = self.rng.next_u64();
+            if p != 0 {
+                return p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupt_chip_changes_exactly_that_lane() {
+        let mut injector = FaultInjector::new(1);
+        let clean = EncodedBlock::default();
+        for chip in Chip::all() {
+            let mut block = clean;
+            injector.corrupt_chip(&mut block, chip);
+            for other in Chip::all() {
+                if other == chip {
+                    assert_ne!(block.lane(other), clean.lane(other));
+                } else {
+                    assert_eq!(block.lane(other), clean.lane(other));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flip_one_bit_is_single_bit() {
+        let mut injector = FaultInjector::new(2);
+        for _ in 0..50 {
+            let mut block = EncodedBlock::default();
+            injector.flip_one_bit(&mut block, Chip::Data(3));
+            assert_eq!(block.lanes[3].count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn two_chip_corruption_hits_distinct_chips() {
+        let mut injector = FaultInjector::new(3);
+        for _ in 0..100 {
+            let mut block = EncodedBlock::default();
+            let (a, b) = injector.corrupt_two_chips(&mut block);
+            assert_ne!(a, b);
+            assert_ne!(block.lane(a), 0);
+            assert_ne!(block.lane(b), 0);
+        }
+    }
+
+    #[test]
+    fn random_chip_covers_all_chips() {
+        let mut injector = FaultInjector::new(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let mut block = EncodedBlock::default();
+            seen.insert(injector.corrupt_random_chip(&mut block));
+        }
+        assert_eq!(seen.len(), 10, "all ten chips should be injectable");
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FaultInjector::new(9);
+        let mut b = FaultInjector::new(9);
+        let mut block_a = EncodedBlock::default();
+        let mut block_b = EncodedBlock::default();
+        assert_eq!(
+            a.corrupt_random_chip(&mut block_a),
+            b.corrupt_random_chip(&mut block_b)
+        );
+        assert_eq!(block_a, block_b);
+    }
+}

@@ -1,0 +1,179 @@
+//! The 10-chip encoded memory block (paper Figs. 3 and 12).
+//!
+//! A standard DDR5 DIMM has 8 data chips + 2 ECC chips per rank; each
+//! contributes 8 bytes per 64-byte block. Synergy assigns one ECC chip to
+//! a 64-bit MAC and the other to an XOR parity. [`EncodedBlock`] is the
+//! bit-exact in-memory representation the functional model stores.
+
+/// Number of data chips (and hence 8-byte data lanes) per block.
+pub const DATA_CHIPS: usize = 8;
+
+/// Total chips per rank touched by a block (8 data + MAC + parity).
+pub const TOTAL_CHIPS: usize = DATA_CHIPS + 2;
+
+/// Identifies one chip's lane within an encoded block, for fault
+/// injection and correction reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Chip {
+    /// Data chip `0..8`.
+    Data(u8),
+    /// The chip storing the 64-bit MAC.
+    Mac,
+    /// The chip storing the 64-bit parity.
+    Parity,
+}
+
+impl Chip {
+    /// All ten chips, in trial order (data chips first, like Synergy's
+    /// correction procedure in Section II-C).
+    pub fn all() -> [Chip; TOTAL_CHIPS] {
+        [
+            Chip::Data(0),
+            Chip::Data(1),
+            Chip::Data(2),
+            Chip::Data(3),
+            Chip::Data(4),
+            Chip::Data(5),
+            Chip::Data(6),
+            Chip::Data(7),
+            Chip::Mac,
+            Chip::Parity,
+        ]
+    }
+}
+
+impl std::fmt::Display for Chip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Chip::Data(i) => write!(f, "data{i}"),
+            Chip::Mac => write!(f, "mac"),
+            Chip::Parity => write!(f, "parity"),
+        }
+    }
+}
+
+/// A block as stored in (simulated) DRAM: 8 ciphertext lanes, the MAC
+/// lane, and the parity lane.
+///
+/// # Examples
+///
+/// ```
+/// use clme_ecc::layout::EncodedBlock;
+///
+/// let block = EncodedBlock::from_data([7; 64], 0xAA, 0xBB);
+/// assert_eq!(block.data(), [7; 64]);
+/// assert_eq!(block.mac, 0xAA);
+/// assert_eq!(block.parity, 0xBB);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct EncodedBlock {
+    /// Ciphertext lanes D1..D8, one per data chip.
+    pub lanes: [u64; DATA_CHIPS],
+    /// The 64-bit MAC lane.
+    pub mac: u64,
+    /// The 64-bit parity lane (with the MetaWord XORed in).
+    pub parity: u64,
+}
+
+impl EncodedBlock {
+    /// Builds a block from 64 ciphertext bytes plus MAC and parity lanes.
+    pub fn from_data(data: [u8; 64], mac: u64, parity: u64) -> EncodedBlock {
+        let mut lanes = [0u64; DATA_CHIPS];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = u64::from_le_bytes(data[8 * i..8 * i + 8].try_into().expect("8-byte lane"));
+        }
+        EncodedBlock { lanes, mac, parity }
+    }
+
+    /// Reassembles the 64 ciphertext bytes from the data lanes.
+    pub fn data(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        for (i, lane) in self.lanes.iter().enumerate() {
+            out[8 * i..8 * i + 8].copy_from_slice(&lane.to_le_bytes());
+        }
+        out
+    }
+
+    /// XOR of all data lanes — the recurring term in parity math.
+    pub fn lanes_xor(&self) -> u64 {
+        self.lanes.iter().fold(0, |acc, &lane| acc ^ lane)
+    }
+
+    /// Reads the 8-byte lane stored on `chip`.
+    pub fn lane(&self, chip: Chip) -> u64 {
+        match chip {
+            Chip::Data(i) => self.lanes[i as usize],
+            Chip::Mac => self.mac,
+            Chip::Parity => self.parity,
+        }
+    }
+
+    /// Replaces the 8-byte lane stored on `chip`.
+    pub fn set_lane(&mut self, chip: Chip, value: u64) {
+        match chip {
+            Chip::Data(i) => self.lanes[i as usize] = value,
+            Chip::Mac => self.mac = value,
+            Chip::Parity => self.parity = value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_round_trip() {
+        let data: [u8; 64] = core::array::from_fn(|i| i as u8);
+        let block = EncodedBlock::from_data(data, 1, 2);
+        assert_eq!(block.data(), data);
+    }
+
+    #[test]
+    fn lanes_are_little_endian_8byte_chunks() {
+        let mut data = [0u8; 64];
+        data[0] = 0x01;
+        data[8] = 0x02;
+        let block = EncodedBlock::from_data(data, 0, 0);
+        assert_eq!(block.lanes[0], 0x01);
+        assert_eq!(block.lanes[1], 0x02);
+    }
+
+    #[test]
+    fn lanes_xor() {
+        let block = EncodedBlock {
+            lanes: [1, 2, 4, 8, 16, 32, 64, 128],
+            mac: 0,
+            parity: 0,
+        };
+        assert_eq!(block.lanes_xor(), 255);
+    }
+
+    #[test]
+    fn lane_get_set_all_chips() {
+        let mut block = EncodedBlock::default();
+        for (i, chip) in Chip::all().into_iter().enumerate() {
+            block.set_lane(chip, i as u64 + 1);
+        }
+        for (i, chip) in Chip::all().into_iter().enumerate() {
+            assert_eq!(block.lane(chip), i as u64 + 1);
+        }
+        assert_eq!(block.mac, 9);
+        assert_eq!(block.parity, 10);
+    }
+
+    #[test]
+    fn chip_all_covers_ten() {
+        let chips = Chip::all();
+        assert_eq!(chips.len(), 10);
+        assert_eq!(chips[8], Chip::Mac);
+        assert_eq!(chips[9], Chip::Parity);
+    }
+
+    #[test]
+    fn chip_display() {
+        assert_eq!(format!("{}", Chip::Data(3)), "data3");
+        assert_eq!(format!("{}", Chip::Mac), "mac");
+        assert_eq!(format!("{}", Chip::Parity), "parity");
+    }
+}

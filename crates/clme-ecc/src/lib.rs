@@ -1,0 +1,46 @@
+//! Synergy chipkill-correct ECC with EncryptionMetadata encoding — the
+//! memory-block layout of the paper's Figs. 3, 12, and 14.
+//!
+//! A DDR5 server rank stores each 64-byte block across 8 data chips plus
+//! 2 ECC chips (8 bytes per chip). Synergy uses one ECC chip for a 64-bit
+//! MAC (doing double duty as error detection and integrity check) and the
+//! other for an XOR parity across the data lanes and the MAC.
+//! Counter-light additionally XORs a per-block *EncryptionMetadata* word
+//! into the parity, so the block's encryption mode and counter travel with
+//! the data at zero bandwidth cost.
+//!
+//! * [`encmeta`] — the 4-byte EncryptionMetadata word (counter value, or
+//!   the all-ones counterless flag) plus the 4-byte auxiliary field the
+//!   paper reserves for other uses.
+//! * [`layout`] — the 10-chip encoded block and lane accessors.
+//! * [`codec`] — parity encode/decode (`parity = ⊕Dᵢ ⊕ MAC ⊕ EncMeta`).
+//! * [`correct`] — Synergy trial-and-error correction, doubled across the
+//!   two EncryptionMetadata hypotheses (Fig. 14), with the Section IV-E
+//!   entropy disambiguation.
+//! * [`entropy`] — 64-sample byte entropy (max 6 bits; ≥ 5.5 ⇒ "looks
+//!   like ciphertext").
+//! * [`inject`] — chip-fault injection for reliability experiments.
+//! * [`reliability`] — the detected-uncorrectable-error (DUE) probability
+//!   model of Section IV-E.
+//!
+//! # Examples
+//!
+//! ```
+//! use clme_ecc::{codec, encmeta::MetaWord};
+//!
+//! let data = [0xAB; 64];
+//! let block = codec::encode(&data, 0x1234, MetaWord::counter(7));
+//! assert_eq!(codec::decode_meta(&block), MetaWord::counter(7));
+//! ```
+
+pub mod codec;
+pub mod correct;
+pub mod encmeta;
+pub mod entropy;
+pub mod inject;
+pub mod layout;
+pub mod reliability;
+
+pub use correct::{CorrectionOutcome, MacVerifier};
+pub use encmeta::{EncMeta, MetaWord};
+pub use layout::{Chip, EncodedBlock};

@@ -1,0 +1,152 @@
+//! Algebraic-attack accounting (Section IV-F, Eqs. 1–4).
+//!
+//! An attacker observing the OTPs of `α` memory blocks that share `c`
+//! counter values can write boolean equations whose unknowns are the bits
+//! of the α address-only AES results and the c counter-only AES results.
+//! The paper counts unknowns and equations in two settings:
+//!
+//! * **Boolean / CNF** (fed to a SAT solver): `n = 128(α + c)` unknowns,
+//!   `m = 128·α·c` equations. The simplest theoretically solvable case is
+//!   α = c = 2 (512 = 512), but MiniSat made no progress in two months.
+//! * **Multivariate quadratic (MQ)**: transforming through the
+//!   barrel-shift + S-box circuit yields `m = 760·α·c + 160(α + c)`
+//!   equations over `n ≥ 128(α + c)` variables. MQ systems are solvable
+//!   in polynomial time only when `m ≥ n(n−1)/2`; the paper shows the
+//!   inequality never holds, so the attack stays NP-hard.
+
+/// The equation system induced by `alpha` blocks sharing `c` counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AttackSystem {
+    /// Number of memory blocks whose OTPs the attacker observed.
+    pub alpha: u64,
+    /// Number of distinct counter values shared among them.
+    pub c: u64,
+}
+
+impl AttackSystem {
+    /// Creates the system for `alpha` blocks × `c` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero (no observations, no system).
+    pub fn new(alpha: u64, c: u64) -> AttackSystem {
+        assert!(alpha > 0 && c > 0, "need at least one block and counter");
+        AttackSystem { alpha, c }
+    }
+
+    /// Eq. (1): boolean unknowns `n = 128(α + c)`.
+    pub fn boolean_unknowns(&self) -> u64 {
+        128 * (self.alpha + self.c)
+    }
+
+    /// Eq. (2): boolean equations `m = 128·α·c` (one per OTP bit).
+    pub fn boolean_equations(&self) -> u64 {
+        128 * self.alpha * self.c
+    }
+
+    /// Whether the boolean system is *theoretically* determined
+    /// (equations ≥ unknowns) — necessary but nowhere near sufficient for
+    /// a practical solve.
+    pub fn boolean_theoretically_solvable(&self) -> bool {
+        self.boolean_equations() >= self.boolean_unknowns()
+    }
+
+    /// Eq. (3): MQ equations `m = 760·α·c + 160(α + c)` after
+    /// transforming the combiner circuit to quadratic form.
+    pub fn mq_equations(&self) -> u64 {
+        760 * self.alpha * self.c + 160 * (self.alpha + self.c)
+    }
+
+    /// Eq. (4): a lower bound on MQ variables, `n ≥ 128(α + c)` (the
+    /// transformation only *adds* intermediate variables).
+    pub fn mq_variables_lower_bound(&self) -> u64 {
+        128 * (self.alpha + self.c)
+    }
+
+    /// The Thomae–Wolf criterion: an MQ system is polynomial-time
+    /// solvable when `m ≥ n(n−1)/2`. Checked against the *lower bound*
+    /// on `n`, which is the attacker-optimistic case — if it fails here
+    /// it fails for the true (larger) `n` too.
+    pub fn mq_polynomially_solvable(&self) -> bool {
+        let n = self.mq_variables_lower_bound() as u128;
+        let m = self.mq_equations() as u128;
+        m >= n * (n - 1) / 2
+    }
+}
+
+/// Sweeps (α, c) pairs and confirms the paper's conclusion that no
+/// configuration makes the MQ attack polynomial; returns the first
+/// counterexample if one exists (it does not, for any inputs — see the
+/// proof sketch in [`AttackSystem::mq_polynomially_solvable`]'s tests).
+pub fn find_polynomial_counterexample(max_alpha: u64, max_c: u64) -> Option<AttackSystem> {
+    for alpha in 1..=max_alpha {
+        for c in 1..=max_c {
+            let system = AttackSystem::new(alpha, c);
+            if system.mq_polynomially_solvable() {
+                return Some(system);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simplest_solvable_case_matches_paper() {
+        // α = c = 2: m = 512 boolean equations, n = 512 unknowns.
+        let s = AttackSystem::new(2, 2);
+        assert_eq!(s.boolean_unknowns(), 512);
+        assert_eq!(s.boolean_equations(), 512);
+        assert!(s.boolean_theoretically_solvable());
+    }
+
+    #[test]
+    fn single_observation_is_underdetermined() {
+        let s = AttackSystem::new(1, 1);
+        assert_eq!(s.boolean_unknowns(), 256);
+        assert_eq!(s.boolean_equations(), 128);
+        assert!(!s.boolean_theoretically_solvable());
+    }
+
+    #[test]
+    fn mq_counts_match_equations_3_and_4() {
+        let s = AttackSystem::new(2, 2);
+        assert_eq!(s.mq_equations(), 760 * 4 + 160 * 4);
+        assert_eq!(s.mq_variables_lower_bound(), 512);
+    }
+
+    #[test]
+    fn mq_never_polynomial_small_sweep() {
+        assert_eq!(find_polynomial_counterexample(64, 64), None);
+    }
+
+    #[test]
+    fn mq_never_polynomial_even_at_scale() {
+        // Asymptotically m grows as 760αc while n(n−1)/2 grows as
+        // 128²(α+c)²/2 ≥ 2·128²·αc ≫ 760αc: the gap only widens.
+        for &(alpha, c) in &[(1u64, 1_000_000u64), (1_000_000, 1), (10_000, 10_000)] {
+            let s = AttackSystem::new(alpha, c);
+            assert!(!s.mq_polynomially_solvable(), "α={alpha}, c={c}");
+        }
+    }
+
+    #[test]
+    fn more_observations_stay_theoretically_solvable_but_hard() {
+        for alpha in 2..20 {
+            for c in 2..20 {
+                let s = AttackSystem::new(alpha, c);
+                assert!(s.boolean_theoretically_solvable());
+                assert!(!s.mq_polynomially_solvable());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_alpha_panics() {
+        let _ = AttackSystem::new(0, 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Security analyses from the paper (Sections II-B, IV-B, IV-D, IV-F).
+//!
+//! * [`algebraic`] — the algebraic-attack accounting of Section IV-F:
+//!   unknown/equation counts for the boolean system (Eqs. 1–2) and its
+//!   multivariate-quadratic (MQ) transformation (Eqs. 3–4), plus the
+//!   `m ≥ n(n−1)/2` polynomial-solvability test the paper applies.
+//! * [`linearity`] — empirical (non)linearity and diffusion measurements
+//!   of the two OTP combiners (Fig. 15): RMCC's carry-less multiply is
+//!   perfectly linear; Counter-light's barrel-shift + S-box is not.
+//! * [`replay`] — executable versions of the paper's replay arguments:
+//!   the Fig. 10 pad-reuse leak when a counter is replayed before a
+//!   writeback, the integrity tree detecting counter replay, and the
+//!   (accepted) whole-block replay that matches counterless security.
+//! * [`sidechannel`] — the ciphertext side channel of Section IV-D that
+//!   motivates per-VM keys for counterless blocks.
+//!
+//! # Examples
+//!
+//! ```
+//! use clme_security::algebraic::AttackSystem;
+//!
+//! let simplest = AttackSystem::new(2, 2);
+//! assert_eq!(simplest.boolean_unknowns(), 512);
+//! assert!(!simplest.mq_polynomially_solvable());
+//! ```
+
+pub mod algebraic;
+pub mod linearity;
+pub mod replay;
+pub mod sidechannel;
+
+pub use algebraic::AttackSystem;

@@ -1,0 +1,92 @@
+//! Empirical (non)linearity measurements of the OTP combiners (Fig. 15).
+//!
+//! RMCC combines the address-only and counter-only AES results with a
+//! carry-less multiplication — a perfectly *linear* map, which is what
+//! enables the equation-solving attack the paper analyses. Counter-light
+//! replaces it with barrel shifting + S-box substitution. These helpers
+//! quantify both properties so the `security` bench target can print
+//! them.
+
+use clme_crypto::combine::{avalanche_score, combine_linear, combine_nonlinear};
+use clme_types::rng::Xoshiro256;
+
+/// Fraction of random triples (a, b, c) violating
+/// `f(a ⊕ b, c) = f(a, c) ⊕ f(b, c)` — 0.0 for a linear combiner,
+/// ≈ 1.0 for a nonlinear one.
+pub fn linearity_violation_rate<F>(combiner: F, trials: u32, seed: u64) -> f64
+where
+    F: Fn([u8; 16], [u8; 16]) -> [u8; 16],
+{
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut violations = 0u32;
+    for _ in 0..trials {
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        let mut c = [0u8; 16];
+        rng.fill_bytes(&mut a);
+        rng.fill_bytes(&mut b);
+        rng.fill_bytes(&mut c);
+        let ab: [u8; 16] = core::array::from_fn(|i| a[i] ^ b[i]);
+        let lhs = combiner(ab, c);
+        let fa = combiner(a, c);
+        let fb = combiner(b, c);
+        let rhs: [u8; 16] = core::array::from_fn(|i| fa[i] ^ fb[i]);
+        if lhs != rhs {
+            violations += 1;
+        }
+    }
+    violations as f64 / trials as f64
+}
+
+/// A summary row for the `security` bench: name, linearity-violation
+/// rate, and single-bit diffusion (average flipped output bits).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CombinerReport {
+    /// Which combiner.
+    pub name: &'static str,
+    /// Fraction of linearity tests violated (0 = linear).
+    pub violation_rate: f64,
+    /// Average output bits flipped per flipped input bit.
+    pub diffusion_bits: f64,
+}
+
+/// Measures both combiners with `trials` random tests each.
+pub fn report(trials: u32) -> [CombinerReport; 2] {
+    [
+        CombinerReport {
+            name: "rmcc-clmul (linear)",
+            violation_rate: linearity_violation_rate(combine_linear, trials, 101),
+            diffusion_bits: avalanche_score(combine_linear, trials, 102, true),
+        },
+        CombinerReport {
+            name: "counter-light barrel+sbox",
+            violation_rate: linearity_violation_rate(combine_nonlinear, trials, 103),
+            diffusion_bits: avalanche_score(combine_nonlinear, trials, 104, true),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clmul_is_exactly_linear() {
+        assert_eq!(linearity_violation_rate(combine_linear, 200, 7), 0.0);
+    }
+
+    #[test]
+    fn barrel_sbox_is_essentially_never_linear() {
+        let rate = linearity_violation_rate(combine_nonlinear, 200, 8);
+        assert!(rate > 0.99, "violation rate {rate}");
+    }
+
+    #[test]
+    fn report_contains_both_combiners() {
+        let rows = report(100);
+        assert_eq!(rows[0].violation_rate, 0.0);
+        assert!(rows[1].violation_rate > 0.9);
+        assert!(rows[0].diffusion_bits > 0.0);
+        assert!(rows[1].diffusion_bits > 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! The trace-driven multi-core memory-system simulator — the
+//! gem5-equivalent substrate of this reproduction.
+//!
+//! * [`core`] — the interval (ROB/MSHR-limited) core timing model.
+//! * [`machine`] — cores → cache hierarchy → encryption engine → DRAM.
+//! * [`result`] — [`result::SimResult`] and the figures' derived metrics.
+//! * [`run`] — one-call helpers: pick a config, an engine, a benchmark.
+//!
+//! # Examples
+//!
+//! ```
+//! use clme_core::engine::EngineKind;
+//! use clme_sim::run::{run_benchmark, SimParams};
+//! use clme_types::SystemConfig;
+//!
+//! let cfg = SystemConfig::isca_table1();
+//! let mut params = SimParams::quick();
+//! params.measure_per_core = 4_000;
+//! let result = run_benchmark(&cfg, EngineKind::CounterLight, "mcf", params);
+//! assert!(result.instructions > 0);
+//! ```
+
+pub mod core;
+pub mod machine;
+pub mod result;
+pub mod run;
+
+pub use machine::Machine;
+pub use result::SimResult;
+pub use run::{run_benchmark, run_with_engine, SimParams};

@@ -1,0 +1,318 @@
+//! The whole-system wiring: cores → cache hierarchy → encryption engine →
+//! DRAM.
+//!
+//! [`Machine::run`] executes a warm-up window, resets all statistics, and
+//! measures a window — the structure of the paper's methodology
+//! (Section V: warm up tree/memo/caches, then observe a fixed window).
+
+use crate::core::CoreModel;
+use crate::result::SimResult;
+use clme_cache::hierarchy::{HitLevel, MemorySystemCaches};
+use clme_core::engine::EncryptionEngine;
+use clme_dram::power::PowerParams;
+use clme_dram::timing::Dram;
+use clme_types::config::SystemConfig;
+use clme_types::{Time, TimeDelta};
+use clme_workloads::{Op, Workload};
+
+/// A simulated machine running one workload instance per core.
+pub struct Machine {
+    cfg: SystemConfig,
+    cores: Vec<CoreModel>,
+    workloads: Vec<Box<dyn Workload>>,
+    caches: MemorySystemCaches,
+    engine: Box<dyn EncryptionEngine>,
+    dram: Dram,
+    l1_latency: TimeDelta,
+    l2_path: TimeDelta,
+    llc_path: TimeDelta,
+}
+
+impl Machine {
+    /// Builds a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of workloads differs from `cfg.cores`.
+    pub fn new(
+        cfg: SystemConfig,
+        engine: Box<dyn EncryptionEngine>,
+        workloads: Vec<Box<dyn Workload>>,
+    ) -> Machine {
+        assert_eq!(
+            workloads.len(),
+            cfg.cores,
+            "one workload instance per core"
+        );
+        Machine {
+            cores: (0..cfg.cores).map(|_| CoreModel::new(&cfg)).collect(),
+            caches: MemorySystemCaches::new(&cfg),
+            engine,
+            dram: Dram::new(&cfg),
+            l1_latency: cfg.l1d.latency,
+            l2_path: cfg.l1d.latency + cfg.l2.latency,
+            llc_path: cfg.l1d.latency + cfg.l2.latency + cfg.llc.latency,
+            cfg,
+            workloads,
+        }
+    }
+
+    /// The engine (for inspection after a run).
+    pub fn engine(&self) -> &dyn EncryptionEngine {
+        self.engine.as_ref()
+    }
+
+    /// The DRAM model (for inspection after a run).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Executes one workload op on `core_idx`.
+    fn step(&mut self, core_idx: usize) {
+        let op = self.workloads[core_idx].next_op();
+        match op {
+            Op::Compute { n } => self.cores[core_idx].do_compute(n),
+            Op::Load { addr, dependent } => {
+                let issue = self.cores[core_idx].begin_mem(dependent);
+                let completion = self.memory_access(core_idx, addr.block().raw(), false, issue);
+                self.cores[core_idx].complete_mem(completion, true);
+            }
+            Op::Store { addr } => {
+                let issue = self.cores[core_idx].begin_mem(false);
+                // Stores complete into the store buffer at L1 speed; the
+                // cache state updates (and may trigger fills/writebacks).
+                self.memory_access(core_idx, addr.block().raw(), true, issue);
+                let completion = issue + self.l1_latency;
+                self.cores[core_idx].complete_mem(completion, false);
+            }
+        }
+    }
+
+    /// One access through the hierarchy; returns the load-use completion
+    /// time.
+    fn memory_access(&mut self, core_idx: usize, block: u64, write: bool, issue: Time) -> Time {
+        let result = self.caches.access(core_idx, block, write);
+        let level = result.level.expect("access always resolves");
+        let completion = match level {
+            HitLevel::L1 => issue + self.l1_latency,
+            HitLevel::L2 => issue + self.l2_path,
+            HitLevel::Llc => issue + self.llc_path,
+            HitLevel::Memory => {
+                let mc_issue = issue + self.llc_path;
+                let slot = self.cores[core_idx].acquire_mshr(mc_issue);
+                let outcome = self.engine.on_read_miss(
+                    clme_types::BlockAddr::new(block),
+                    slot,
+                    &mut self.dram,
+                );
+                self.cores[core_idx].commit_mshr(outcome.ready);
+                outcome.ready
+            }
+        };
+        let traffic_time = issue + self.llc_path;
+        for wb in result.writebacks {
+            self.engine
+                .on_writeback(clme_types::BlockAddr::new(wb), traffic_time, &mut self.dram);
+        }
+        for pf in result.prefetch_fills {
+            self.engine
+                .on_prefetch_fill(clme_types::BlockAddr::new(pf), traffic_time, &mut self.dram);
+        }
+        completion
+    }
+
+    /// Fast functional (untimed) warm-up, the analogue of gem5's atomic
+    /// mode the paper uses before its detailed window (Section V): drives
+    /// `mem_accesses_per_core` memory operations per core through the
+    /// cache hierarchy — warming tags, dirtiness, and prefetcher state —
+    /// without advancing simulated time or touching DRAM.
+    pub fn functional_warmup(&mut self, mem_accesses_per_core: u64) {
+        for core in 0..self.cores.len() {
+            let mut done = 0;
+            while done < mem_accesses_per_core {
+                match self.workloads[core].next_op() {
+                    Op::Compute { .. } => {}
+                    Op::Load { addr, .. } => {
+                        self.caches.access(core, addr.block().raw(), false);
+                        done += 1;
+                    }
+                    Op::Store { addr } => {
+                        self.caches.access(core, addr.block().raw(), true);
+                        done += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs until every core has executed at least `per_core`
+    /// instructions past its current count; returns (start, end) times of
+    /// the window.
+    fn run_window(&mut self, per_core: u64) -> (Time, Time) {
+        let start = self
+            .cores
+            .iter()
+            .map(CoreModel::now)
+            .fold(Time::ZERO, Time::max);
+        let targets: Vec<u64> = self
+            .cores
+            .iter()
+            .map(|c| c.instructions() + per_core)
+            .collect();
+        loop {
+            // Pick the lagging core (smallest cursor) among unfinished.
+            let mut next: Option<(usize, Time)> = None;
+            for (i, core) in self.cores.iter().enumerate() {
+                if core.instructions() < targets[i] {
+                    let t = core.now();
+                    if next.map(|(_, best)| t < best).unwrap_or(true) {
+                        next = Some((i, t));
+                    }
+                }
+            }
+            match next {
+                Some((idx, _)) => self.step(idx),
+                None => break,
+            }
+        }
+        let end = self
+            .cores
+            .iter()
+            .map(CoreModel::drained_at)
+            .fold(Time::ZERO, Time::max);
+        (start, end)
+    }
+
+    /// Warm up for `warmup_per_core` instructions per core, reset all
+    /// statistics, then measure `measure_per_core` instructions per core.
+    pub fn run(&mut self, warmup_per_core: u64, measure_per_core: u64) -> SimResult {
+        if warmup_per_core > 0 {
+            self.run_window(warmup_per_core);
+        }
+        self.engine.reset_stats();
+        self.dram.reset_stats();
+        self.caches.reset_stats();
+        for core in &mut self.cores {
+            core.reset_instruction_count();
+        }
+
+        let (start, end) = self.run_window(measure_per_core);
+        let elapsed = end.saturating_since(start);
+        let instructions: u64 = self.cores.iter().map(CoreModel::instructions).sum();
+        let tracker = self.dram.tracker();
+        let elapsed_nonzero = elapsed.max(TimeDelta::from_picos(1));
+        let power = PowerParams::default();
+        SimResult {
+            benchmark: self.workloads[0].name().to_string(),
+            engine: self.engine.kind(),
+            elapsed,
+            instructions,
+            ipc: instructions as f64
+                / (elapsed_nonzero.picos() as f64 / self.cfg.core_period().picos() as f64)
+                .max(1.0),
+            engine_stats: self.engine.stats().clone(),
+            dram_reads: tracker.reads(),
+            dram_writes: tracker.writes(),
+            dram_busy: tracker.busy_time(),
+            activations: self.dram.activations(),
+            bandwidth_utilization: tracker.utilization(elapsed_nonzero),
+            llc_demand_hit: self.caches.llc_demand_hit_ratio(),
+            energy_per_instruction_nj: power.energy_per_instruction(
+                elapsed_nonzero,
+                self.dram.activations(),
+                tracker.reads(),
+                tracker.writes(),
+                instructions.max(1),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clme_core::engine::EngineKind;
+    use clme_core::{build_engine, CounterLightEngine};
+    use clme_workloads::suites;
+
+    fn small_machine(kind: EngineKind, bench: &str) -> Machine {
+        let cfg = SystemConfig::isca_table1();
+        let engine = build_engine(kind, &cfg, suites::address_space_blocks());
+        let workloads = (0..cfg.cores).map(|c| suites::instantiate(bench, c)).collect();
+        Machine::new(cfg, engine, workloads)
+    }
+
+    #[test]
+    fn machine_runs_and_reports() {
+        let mut m = small_machine(EngineKind::None, "mcf");
+        let result = m.run(2_000, 10_000);
+        assert!(result.instructions >= 40_000);
+        assert!(result.elapsed > TimeDelta::ZERO);
+        assert!(result.ipc > 0.0);
+        assert!(result.engine_stats.read_misses > 0, "mcf must miss the LLC");
+        assert_eq!(result.benchmark, "mcf");
+    }
+
+    #[test]
+    fn counterless_is_slower_than_none_on_pointer_chase() {
+        let cfg = SystemConfig::isca_table1();
+        let run = |kind| {
+            let engine = build_engine(kind, &cfg, suites::address_space_blocks());
+            let workloads = (0..cfg.cores)
+                .map(|c| {
+                    Box::new(suites::pointer_chase(c as u64, c as u64 * suites::SPAN_BLOCKS))
+                        as Box<dyn clme_workloads::Workload>
+                })
+                .collect();
+            Machine::new(cfg.clone(), engine, workloads).run(1_000, 8_000)
+        };
+        let none = run(EngineKind::None);
+        let counterless = run(EngineKind::Counterless);
+        let slowdown = counterless.elapsed.picos() as f64 / none.elapsed.picos() as f64;
+        // Pure dependent misses: every miss eats the extra 10 ns.
+        assert!(slowdown > 1.05, "slowdown {slowdown}");
+    }
+
+    #[test]
+    fn counter_light_beats_counterless_on_irregular() {
+        let counterless = small_machine(EngineKind::Counterless, "bfs").run(2_000, 12_000);
+        let light = small_machine(EngineKind::CounterLight, "bfs").run(2_000, 12_000);
+        assert!(
+            light.elapsed < counterless.elapsed,
+            "counter-light {} vs counterless {}",
+            light.elapsed,
+            counterless.elapsed
+        );
+    }
+
+    #[test]
+    fn counter_light_issues_metadata_only_for_writebacks() {
+        let mut m = small_machine(EngineKind::CounterLight, "streamcluster");
+        let result = m.run(1_000, 8_000);
+        // streamcluster writes almost nothing → almost no metadata.
+        assert!(result.engine_stats.metadata_reads <= result.engine_stats.writebacks * 6);
+        assert_eq!(result.engine_stats.counter_fetches, 0);
+    }
+
+    #[test]
+    fn custom_engine_is_accepted() {
+        let cfg = SystemConfig::isca_table1();
+        let engine = Box::new(CounterLightEngine::with_dynamic_switching(
+            &cfg,
+            suites::address_space_blocks(),
+            false,
+        ));
+        let workloads = (0..cfg.cores).map(|c| suites::instantiate("omnetpp", c)).collect();
+        let mut m = Machine::new(cfg, engine, workloads);
+        let result = m.run(500, 4_000);
+        assert_eq!(result.engine_stats.counterless_writebacks, 0, "ablation never switches");
+    }
+
+    #[test]
+    #[should_panic(expected = "one workload instance per core")]
+    fn wrong_workload_count_panics() {
+        let cfg = SystemConfig::isca_table1();
+        let engine = build_engine(EngineKind::None, &cfg, 1 << 20);
+        let _ = Machine::new(cfg, engine, vec![]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Simulation results and the derived metrics the figures report.
+
+use clme_core::engine::EngineKind;
+use clme_core::stats::EngineStats;
+use clme_types::stats::Ratio;
+use clme_types::TimeDelta;
+
+/// Everything measured in one simulation window.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Engine evaluated.
+    pub engine: EngineKind,
+    /// Wall-clock simulated time of the measurement window.
+    pub elapsed: TimeDelta,
+    /// Instructions executed across all cores.
+    pub instructions: u64,
+    /// Aggregate instructions per core cycle.
+    pub ipc: f64,
+    /// The engine's detailed statistics.
+    pub engine_stats: EngineStats,
+    /// DRAM read transfers.
+    pub dram_reads: u64,
+    /// DRAM write transfers.
+    pub dram_writes: u64,
+    /// Total DRAM bus-busy time.
+    pub dram_busy: TimeDelta,
+    /// Row activations.
+    pub activations: u64,
+    /// DRAM bandwidth utilisation over the window (Fig. 18's metric).
+    pub bandwidth_utilization: f64,
+    /// LLC demand hit ratio.
+    pub llc_demand_hit: Ratio,
+    /// DRAM energy per instruction in nanojoules (Fig. 19's metric).
+    pub energy_per_instruction_nj: f64,
+}
+
+impl SimResult {
+    /// Performance normalised to a baseline run of the *same* workload:
+    /// `baseline.elapsed / self.elapsed` (>1 would mean faster than the
+    /// baseline). This is the y-axis of Figs. 5, 16, 20, 22, and 23.
+    pub fn performance_vs(&self, baseline: &SimResult) -> f64 {
+        assert_eq!(
+            self.benchmark, baseline.benchmark,
+            "normalise against the same workload"
+        );
+        baseline.elapsed.picos() as f64 / self.elapsed.picos().max(1) as f64
+    }
+
+    /// LLC miss latency overhead versus a baseline (Fig. 17's metric):
+    /// the difference of mean read-miss latencies.
+    pub fn miss_latency_overhead_vs(&self, baseline: &SimResult) -> f64 {
+        self.engine_stats.mean_read_latency().as_ns_f64()
+            - baseline.engine_stats.mean_read_latency().as_ns_f64()
+    }
+
+    /// Energy per instruction normalised to a baseline (Fig. 19).
+    pub fn energy_vs(&self, baseline: &SimResult) -> f64 {
+        self.energy_per_instruction_nj / baseline.energy_per_instruction_nj
+    }
+
+    /// A multi-line human-readable report of this run.
+    pub fn report(&self) -> String {
+        let s = &self.engine_stats;
+        format!(
+            "{} under {}\n\
+             elapsed {}  instructions {}  IPC {:.2}\n\
+             LLC read misses {}  mean latency {}  stall-after-data {}\n\
+             writebacks {} ({} counter-mode, {} counterless)\n\
+             DRAM: {} reads, {} writes, {:.0}% bandwidth, {:.2} nJ/instr",
+            self.benchmark,
+            self.engine,
+            self.elapsed,
+            self.instructions,
+            self.ipc,
+            s.read_misses,
+            s.mean_read_latency(),
+            s.mean_stall_after_data(),
+            s.writebacks,
+            s.counter_mode_writebacks,
+            s.counterless_writebacks,
+            self.dram_reads,
+            self.dram_writes,
+            self.bandwidth_utilization * 100.0,
+            self.energy_per_instruction_nj
+        )
+    }
+}
+
+impl std::fmt::Display for SimResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(elapsed_ns: u64) -> SimResult {
+        SimResult {
+            benchmark: "test".into(),
+            engine: EngineKind::None,
+            elapsed: TimeDelta::from_ns(elapsed_ns),
+            instructions: 1000,
+            ipc: 1.0,
+            engine_stats: EngineStats::new(),
+            dram_reads: 0,
+            dram_writes: 0,
+            dram_busy: TimeDelta::ZERO,
+            activations: 0,
+            bandwidth_utilization: 0.0,
+            llc_demand_hit: Ratio::new(),
+            energy_per_instruction_nj: 2.0,
+        }
+    }
+
+    #[test]
+    fn normalised_performance() {
+        let baseline = result(100);
+        let slower = result(125);
+        assert!((slower.performance_vs(&baseline) - 0.8).abs() < 1e-12);
+        assert!((baseline.performance_vs(&baseline) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_ratio() {
+        let mut a = result(100);
+        a.energy_per_instruction_nj = 1.9;
+        let b = result(100);
+        assert!((a.energy_vs(&b) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_mentions_the_key_numbers() {
+        let r = result(100);
+        let report = r.report();
+        assert!(report.contains("test"));
+        assert!(report.contains("no-encryption"));
+        assert!(report.contains("IPC"));
+        assert_eq!(report, format!("{r}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "same workload")]
+    fn cross_workload_normalisation_panics() {
+        let a = result(1);
+        let mut b = result(1);
+        b.benchmark = "other".into();
+        let _ = a.performance_vs(&b);
+    }
+}

@@ -1,0 +1,87 @@
+//! High-level run helpers used by the examples and the figure harness.
+
+use crate::machine::Machine;
+use crate::result::SimResult;
+use clme_core::engine::{EncryptionEngine, EngineKind};
+use clme_core::build_engine;
+use clme_types::config::SystemConfig;
+use clme_workloads::suites;
+
+/// Window sizes for a simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimParams {
+    /// Functional (untimed) warm-up memory accesses per core — the
+    /// analogue of the paper's 25-billion-instruction atomic-mode warm-up.
+    /// Must be large enough to cycle the 8 MB LLC (128 K lines) so dirty
+    /// evictions reach steady state before measurement.
+    pub functional_warmup_accesses: u64,
+    /// Timed warm-up instructions per core (detailed-mode warm-up:
+    /// DRAM row state, epoch monitor, memoization and counter state).
+    pub warmup_per_core: u64,
+    /// Measured instructions per core.
+    pub measure_per_core: u64,
+}
+
+impl SimParams {
+    /// Fast windows for unit/integration tests.
+    pub fn quick() -> SimParams {
+        SimParams {
+            functional_warmup_accesses: 5_000,
+            warmup_per_core: 2_000,
+            measure_per_core: 15_000,
+        }
+    }
+
+    /// The windows the figure harness uses (scaled from the paper's 20 ms
+    /// detailed window to keep the full sweep tractable; the relative
+    /// results are stable beyond this size).
+    pub fn evaluation() -> SimParams {
+        SimParams {
+            functional_warmup_accesses: 400_000,
+            warmup_per_core: 300_000,
+            measure_per_core: 500_000,
+        }
+    }
+}
+
+/// Runs `bench` under the stock engine `kind`.
+pub fn run_benchmark(
+    cfg: &SystemConfig,
+    kind: EngineKind,
+    bench: &str,
+    params: SimParams,
+) -> SimResult {
+    let engine = build_engine(kind, cfg, suites::address_space_blocks());
+    run_with_engine(cfg, engine, bench, params)
+}
+
+/// Runs `bench` under a custom engine (ablations).
+pub fn run_with_engine(
+    cfg: &SystemConfig,
+    engine: Box<dyn EncryptionEngine>,
+    bench: &str,
+    params: SimParams,
+) -> SimResult {
+    let workloads = (0..cfg.cores).map(|c| suites::instantiate(bench, c)).collect();
+    let mut machine = Machine::new(cfg.clone(), engine, workloads);
+    machine.functional_warmup(params.functional_warmup_accesses);
+    machine.run(params.warmup_per_core, params.measure_per_core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_benchmark_end_to_end() {
+        let cfg = SystemConfig::isca_table1();
+        let result = run_benchmark(&cfg, EngineKind::CounterLight, "canneal", SimParams::quick());
+        assert_eq!(result.engine, EngineKind::CounterLight);
+        assert!(result.engine_stats.read_misses > 0);
+    }
+
+    #[test]
+    fn params_presets_ordered() {
+        assert!(SimParams::quick().measure_per_core < SimParams::evaluation().measure_per_core);
+    }
+}

@@ -1,0 +1,194 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator must be reproducible bit-for-bit from a seed so that the
+//! figure harnesses print stable numbers. [`Xoshiro256`] implements
+//! xoshiro256** seeded through SplitMix64 — the standard, well-analysed
+//! construction — without pulling a dependency into every crate.
+
+/// A xoshiro256** PRNG, seeded via SplitMix64.
+///
+/// Not cryptographically secure; used only for workload generation, fault
+/// injection, and randomized tests.
+///
+/// # Examples
+///
+/// ```
+/// use clme_types::rng::Xoshiro256;
+///
+/// let mut a = Xoshiro256::seed_from(42);
+/// let mut b = Xoshiro256::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Creates a generator from a 64-bit seed by expanding it through
+    /// SplitMix64 (as recommended by the xoshiro authors).
+    pub fn seed_from(seed: u64) -> Xoshiro256 {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = split_mix64(&mut sm);
+        }
+        // All-zero state is invalid for xoshiro; SplitMix64 of any seed
+        // cannot produce four zeros, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256 { s }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly random value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire's multiply-shift rejection method.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound && low < x.wrapping_neg() % bound {
+                continue;
+            }
+            return (m >> 64) as u64;
+        }
+    }
+
+    /// Returns a uniformly random `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Draws from a geometric-ish Pareto distribution with shape `alpha`,
+    /// scaled into `[0, n)`; used by the power-law graph generator.
+    pub fn pareto_index(&mut self, n: u64, alpha: f64) -> u64 {
+        assert!(n > 0, "population must be non-empty");
+        let u = self.next_f64().max(1e-12);
+        let x = u.powf(-1.0 / alpha) - 1.0; // Pareto with minimum 0
+        let idx = x.min(n as f64 - 1.0);
+        idx as u64
+    }
+}
+
+#[inline]
+fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Xoshiro256::seed_from(7);
+        let mut b = Xoshiro256::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256::seed_from(1);
+        let mut b = Xoshiro256::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Xoshiro256::seed_from(4);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_respects_probability() {
+        let mut rng = Xoshiro256::seed_from(5);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut rng = Xoshiro256::seed_from(6);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn pareto_skews_low() {
+        let mut rng = Xoshiro256::seed_from(8);
+        let n = 1000;
+        let draws: Vec<u64> = (0..10_000).map(|_| rng.pareto_index(n, 1.2)).collect();
+        assert!(draws.iter().all(|&d| d < n));
+        let low = draws.iter().filter(|&&d| d < n / 10).count();
+        assert!(low > 5_000, "power-law draws should concentrate low: {low}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn below_zero_bound_panics() {
+        let mut rng = Xoshiro256::seed_from(0);
+        let _ = rng.below(0);
+    }
+}

@@ -1,0 +1,292 @@
+//! The parameterised synthetic-trace engine behind the SPEC/PARSEC and
+//! regular-workload stand-ins.
+//!
+//! A [`SyntheticWorkload`] is described by a [`Profile`]: footprint,
+//! access pattern, write fraction, pointer-dependence fraction, and
+//! compute density. The [`crate::suites`] module tunes one profile per
+//! benchmark.
+
+use crate::{Op, Workload};
+use clme_types::rng::Xoshiro256;
+use clme_types::{PhysAddr, BLOCK_BYTES};
+
+/// Spatial access pattern.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Pattern {
+    /// Uniform random blocks over the footprint.
+    Random,
+    /// Power-law (hot-set) random blocks: small indices are hot.
+    Pareto {
+        /// Pareto shape; smaller = more skewed.
+        alpha: f64,
+    },
+    /// A cache-resident hot set mixed with uniform cold accesses over the
+    /// whole footprint (mcf-like: hot network arcs + cold node sweeps).
+    HotCold {
+        /// Probability an access targets the hot set.
+        hot_fraction: f64,
+        /// Size of the hot set in blocks.
+        hot_blocks: u64,
+    },
+    /// Sequential sweep.
+    Sequential,
+    /// Fixed block stride sweep.
+    Strided {
+        /// Stride in 64-byte blocks.
+        stride: u64,
+    },
+}
+
+/// Full description of a synthetic benchmark.
+#[derive(Clone, Debug)]
+pub struct Profile {
+    /// Display name.
+    pub name: &'static str,
+    /// Footprint in 64-byte blocks.
+    pub footprint_blocks: u64,
+    /// Access pattern.
+    pub pattern: Pattern,
+    /// Probability that the access after a load stays in the same or the
+    /// next block (spatial run).
+    pub spatial_locality: f64,
+    /// Fraction of memory ops that are stores.
+    pub write_fraction: f64,
+    /// Fraction of loads that are pointer-dependent on the previous load.
+    pub dependent_fraction: f64,
+    /// Inclusive range of non-memory instructions between memory ops.
+    pub compute_between: (u32, u32),
+}
+
+/// A generator instantiated from a [`Profile`] with a seed and a base
+/// address (multi-programmed copies use disjoint bases).
+#[derive(Clone, Debug)]
+pub struct SyntheticWorkload {
+    profile: Profile,
+    rng: Xoshiro256,
+    base_block: u64,
+    cursor: u64,
+    pending_compute: Option<u32>,
+    last_was_load: bool,
+}
+
+impl SyntheticWorkload {
+    /// Creates a generator over `profile`, seeded deterministically, with
+    /// its footprint based at block `base_block`.
+    pub fn new(profile: Profile, seed: u64, base_block: u64) -> SyntheticWorkload {
+        SyntheticWorkload {
+            rng: Xoshiro256::seed_from(seed ^ 0xC1CE_5EED),
+            base_block,
+            cursor: 0,
+            pending_compute: None,
+            last_was_load: false,
+            profile,
+        }
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    fn next_block(&mut self) -> u64 {
+        let n = self.profile.footprint_blocks;
+        // Spatial run: continue from the cursor.
+        if self.rng.chance(self.profile.spatial_locality) {
+            self.cursor = (self.cursor + 1) % n;
+            return self.cursor;
+        }
+        self.cursor = match self.profile.pattern {
+            Pattern::Random => self.rng.below(n),
+            Pattern::Pareto { alpha } => self.rng.pareto_index(n, alpha),
+            Pattern::HotCold {
+                hot_fraction,
+                hot_blocks,
+            } => {
+                if self.rng.chance(hot_fraction) {
+                    self.rng.below(hot_blocks.min(n))
+                } else {
+                    self.rng.below(n)
+                }
+            }
+            Pattern::Sequential => (self.cursor + 1) % n,
+            Pattern::Strided { stride } => (self.cursor + stride) % n,
+        };
+        self.cursor
+    }
+}
+
+impl Workload for SyntheticWorkload {
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+
+    fn next_op(&mut self) -> Op {
+        // Interleave compute between memory ops.
+        if let Some(n) = self.pending_compute.take() {
+            if n > 0 {
+                return Op::Compute { n };
+            }
+        }
+        let (lo, hi) = self.profile.compute_between;
+        let compute = if hi > lo {
+            lo + self.rng.below((hi - lo + 1) as u64) as u32
+        } else {
+            lo
+        };
+        self.pending_compute = Some(compute);
+
+        let block = self.base_block + self.next_block();
+        let offset = self.rng.below(BLOCK_BYTES / 8) * 8;
+        let addr = PhysAddr::new(block * BLOCK_BYTES + offset);
+        if self.rng.chance(self.profile.write_fraction) {
+            self.last_was_load = false;
+            Op::Store { addr }
+        } else {
+            let dependent = self.last_was_load && self.rng.chance(self.profile.dependent_fraction);
+            self.last_was_load = true;
+            Op::Load { addr, dependent }
+        }
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.profile.footprint_blocks * BLOCK_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(pattern: Pattern) -> Profile {
+        Profile {
+            name: "test",
+            footprint_blocks: 1 << 16,
+            pattern,
+            spatial_locality: 0.0,
+            write_fraction: 0.25,
+            dependent_fraction: 0.5,
+            compute_between: (2, 6),
+        }
+    }
+
+    fn collect_mem_blocks(w: &mut SyntheticWorkload, n: usize) -> Vec<u64> {
+        let mut blocks = Vec::new();
+        while blocks.len() < n {
+            match w.next_op() {
+                Op::Load { addr, .. } | Op::Store { addr } => blocks.push(addr.block().raw()),
+                Op::Compute { .. } => {}
+            }
+        }
+        blocks
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SyntheticWorkload::new(profile(Pattern::Random), 9, 0);
+        let mut b = SyntheticWorkload::new(profile(Pattern::Random), 9, 0);
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn base_offset_shifts_addresses() {
+        let mut a = SyntheticWorkload::new(profile(Pattern::Random), 9, 0);
+        let mut b = SyntheticWorkload::new(profile(Pattern::Random), 9, 1 << 20);
+        let blocks_a = collect_mem_blocks(&mut a, 50);
+        let blocks_b = collect_mem_blocks(&mut b, 50);
+        for (x, y) in blocks_a.iter().zip(blocks_b.iter()) {
+            assert_eq!(x + (1 << 20), *y);
+        }
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let mut w = SyntheticWorkload::new(profile(Pattern::Random), 2, 0);
+        let mut stores = 0;
+        let mut mem = 0;
+        while mem < 10_000 {
+            match w.next_op() {
+                Op::Store { .. } => {
+                    stores += 1;
+                    mem += 1;
+                }
+                Op::Load { .. } => mem += 1,
+                Op::Compute { .. } => {}
+            }
+        }
+        let frac = stores as f64 / mem as f64;
+        assert!((0.2..0.3).contains(&frac), "write fraction {frac}");
+    }
+
+    #[test]
+    fn sequential_pattern_is_sequential() {
+        let mut p = profile(Pattern::Sequential);
+        p.write_fraction = 0.0;
+        let mut w = SyntheticWorkload::new(p, 3, 0);
+        let blocks = collect_mem_blocks(&mut w, 100);
+        for pair in blocks.windows(2) {
+            assert_eq!(pair[1], (pair[0] + 1) % (1 << 16));
+        }
+    }
+
+    #[test]
+    fn strided_pattern_strides() {
+        let mut p = profile(Pattern::Strided { stride: 4 });
+        p.write_fraction = 0.0;
+        let mut w = SyntheticWorkload::new(p, 3, 0);
+        let blocks = collect_mem_blocks(&mut w, 50);
+        for pair in blocks.windows(2) {
+            assert_eq!((pair[1] + (1 << 16) - pair[0]) % (1 << 16), 4);
+        }
+    }
+
+    #[test]
+    fn pareto_concentrates_on_hot_blocks() {
+        let mut p = profile(Pattern::Pareto { alpha: 1.0 });
+        p.write_fraction = 0.0;
+        let mut w = SyntheticWorkload::new(p, 4, 0);
+        let blocks = collect_mem_blocks(&mut w, 10_000);
+        let hot = blocks.iter().filter(|&&b| b < (1 << 16) / 10).count();
+        assert!(hot > 5_000, "hot fraction {hot}/10000");
+    }
+
+    #[test]
+    fn footprint_stays_in_bounds() {
+        let mut w = SyntheticWorkload::new(profile(Pattern::Random), 5, 100);
+        for b in collect_mem_blocks(&mut w, 5_000) {
+            assert!((100..100 + (1 << 16)).contains(&b));
+        }
+    }
+
+    #[test]
+    fn dependent_loads_follow_loads() {
+        let mut w = SyntheticWorkload::new(profile(Pattern::Random), 6, 0);
+        let mut prev_was_load = false;
+        let mut dependents = 0;
+        for _ in 0..20_000 {
+            match w.next_op() {
+                Op::Load { dependent, .. } => {
+                    if dependent {
+                        assert!(prev_was_load, "dependent load without a producer");
+                        dependents += 1;
+                    }
+                    prev_was_load = true;
+                }
+                Op::Store { .. } => prev_was_load = false,
+                Op::Compute { .. } => {}
+            }
+        }
+        assert!(dependents > 1_000, "dependence never generated");
+    }
+
+    #[test]
+    fn compute_density_in_range() {
+        let mut w = SyntheticWorkload::new(profile(Pattern::Random), 7, 0);
+        for _ in 0..1_000 {
+            if let Op::Compute { n } = w.next_op() {
+                assert!((2..=6).contains(&n));
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Counter-light Memory Encryption (ISCA 2024) — reproduction facade.
+//!
+//! This crate re-exports the public API of every crate in the workspace so
+//! applications can depend on a single crate:
+//!
+//! * [`types`] — time, addresses, the Table I [`types::SystemConfig`].
+//! * [`crypto`] — AES-128/256, AES-XTS, CTR one-time pads, SHA-3, GF MACs.
+//! * [`ecc`] — Synergy chipkill-correct ECC with EncryptionMetadata.
+//! * [`counters`] — split counters, integrity tree, counter cache, RMCC
+//!   memoization table.
+//! * [`cache`] — set-associative caches, MSHRs, prefetchers.
+//! * [`dram`] — DRAM timing, bandwidth accounting, energy model.
+//! * [`core`] — the paper's contribution: the Counter-light engine, the
+//!   baseline engines, and the bit-exact functional memory model.
+//! * [`sim`] — the trace-driven multi-core simulator.
+//! * [`workloads`] — synthetic stand-ins for graphBIG / SPEC / PARSEC.
+//! * [`security`] — Section IV-F analyses.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use clme::core::functional::MemoryImage;
+//! use clme::types::PhysAddr;
+//!
+//! # fn main() {
+//! let mut mem = MemoryImage::new(1 << 20, [7u8; 32]);
+//! let addr = PhysAddr::new(0x400);
+//! mem.write_block(addr.block(), &[0xAB; 64]);
+//! assert_eq!(mem.read_block(addr.block()).unwrap(), [0xAB; 64]);
+//! # }
+//! ```
+
+pub use clme_cache as cache;
+pub use clme_core as core;
+pub use clme_counters as counters;
+pub use clme_crypto as crypto;
+pub use clme_dram as dram;
+pub use clme_ecc as ecc;
+pub use clme_security as security;
+pub use clme_sim as sim;
+pub use clme_types as types;
+pub use clme_workloads as workloads;

@@ -1,0 +1,109 @@
+//! Property-based tests over the cryptographic substrate: round trips,
+//! tamper detection, and codec inversions under arbitrary inputs.
+
+use clme::crypto::keys::KeyMaterial;
+use clme::crypto::mac::counterless_mac;
+use clme::crypto::otp::xor64;
+use clme::crypto::Aes;
+use clme::ecc::codec::{decode_meta, encode};
+use clme::ecc::encmeta::{EncMeta, MetaWord, COUNTERLESS_FLAG};
+use proptest::prelude::*;
+
+fn arb_block64() -> impl Strategy<Value = [u8; 64]> {
+    prop::array::uniform32(any::<u8>()).prop_flat_map(|a| {
+        prop::array::uniform32(any::<u8>()).prop_map(move |b| {
+            let mut out = [0u8; 64];
+            out[..32].copy_from_slice(&a);
+            out[32..].copy_from_slice(&b);
+            out
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn aes128_round_trips(key in prop::array::uniform16(any::<u8>()),
+                          pt in prop::array::uniform16(any::<u8>())) {
+        let aes = Aes::new_128(key);
+        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(pt)), pt);
+    }
+
+    #[test]
+    fn aes256_round_trips(key in prop::array::uniform32(any::<u8>()),
+                          pt in prop::array::uniform16(any::<u8>())) {
+        let aes = Aes::new_256(key);
+        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(pt)), pt);
+    }
+
+    #[test]
+    fn xts_round_trips_and_randomises(master in prop::array::uniform32(any::<u8>()),
+                                      addr in any::<u64>(),
+                                      pt in arb_block64()) {
+        let keys = KeyMaterial::from_master(master);
+        let ct = keys.xts().encrypt_block64(addr, &pt);
+        prop_assert_eq!(keys.xts().decrypt_block64(addr, &ct), pt);
+        // Ciphertext must differ from plaintext (with overwhelming prob.).
+        prop_assert_ne!(ct, pt);
+    }
+
+    #[test]
+    fn otp_round_trips(master in prop::array::uniform32(any::<u8>()),
+                       addr in any::<u64>(),
+                       counter in any::<u64>(),
+                       pt in arb_block64()) {
+        let keys = KeyMaterial::from_master(master);
+        let ct = keys.otp().encrypt_block64(addr, counter, &pt);
+        prop_assert_eq!(keys.otp().decrypt_block64(addr, counter, &ct), pt);
+    }
+
+    #[test]
+    fn distinct_counters_give_distinct_pads(master in prop::array::uniform32(any::<u8>()),
+                                            addr in any::<u64>(),
+                                            c1 in any::<u64>(), c2 in any::<u64>()) {
+        prop_assume!(c1 != c2);
+        let keys = KeyMaterial::from_master(master);
+        prop_assert_ne!(keys.otp().pad_block64(addr, c1), keys.otp().pad_block64(addr, c2));
+    }
+
+    #[test]
+    fn counterless_mac_detects_any_tamper(key in prop::array::uniform32(any::<u8>()),
+                                          addr in any::<u64>(),
+                                          ct in arb_block64(),
+                                          byte in 0usize..64, flip in 1u8..=255) {
+        let tag = counterless_mac(&key, addr, &ct, COUNTERLESS_FLAG);
+        let mut tampered = ct;
+        tampered[byte] ^= flip;
+        prop_assert_ne!(counterless_mac(&key, addr, &tampered, COUNTERLESS_FLAG), tag);
+    }
+
+    #[test]
+    fn counter_mode_mac_detects_any_tamper(master in prop::array::uniform32(any::<u8>()),
+                                           otp_trunc in any::<u64>(),
+                                           pt in arb_block64(),
+                                           counter in any::<u32>(),
+                                           byte in 0usize..64, flip in 1u8..=255) {
+        let keys = KeyMaterial::from_master(master);
+        let tag = keys.counter_mode_mac().tag(otp_trunc, &pt, counter);
+        let mut tampered = pt;
+        tampered[byte] ^= flip;
+        prop_assert_ne!(keys.counter_mode_mac().tag(otp_trunc, &tampered, counter), tag);
+    }
+
+    #[test]
+    fn parity_codec_inverts_for_any_meta(ct in arb_block64(),
+                                         mac in any::<u64>(),
+                                         raw_meta in any::<u32>(),
+                                         aux in any::<u32>()) {
+        let meta = MetaWord::new(EncMeta::from_raw(raw_meta), aux);
+        let block = encode(&ct, mac, meta);
+        prop_assert_eq!(decode_meta(&block), meta);
+        prop_assert_eq!(block.data(), ct);
+    }
+
+    #[test]
+    fn xor64_is_involutive(a in arb_block64(), b in arb_block64()) {
+        prop_assert_eq!(xor64(&xor64(&a, &b), &b), a);
+    }
+}

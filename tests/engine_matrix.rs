@@ -1,0 +1,85 @@
+//! Matrix test: every engine × a representative benchmark slice, at
+//! small windows, asserting the structural invariants that distinguish
+//! the designs (Fig. 1's comparison as assertions).
+
+use clme::core::engine::EngineKind;
+use clme::sim::{run_benchmark, SimParams};
+use clme::types::SystemConfig;
+
+fn params() -> SimParams {
+    SimParams {
+        functional_warmup_accesses: 15_000,
+        warmup_per_core: 8_000,
+        measure_per_core: 15_000,
+    }
+}
+
+const BENCHES: &[&str] = &["bfs", "canneal", "streamcluster"];
+
+#[test]
+fn all_engines_run_all_benches_with_sane_stats() {
+    let cfg = SystemConfig::isca_table1();
+    for &bench in BENCHES {
+        for kind in [
+            EngineKind::None,
+            EngineKind::Counterless,
+            EngineKind::CounterMode,
+            EngineKind::CounterLight,
+        ] {
+            let r = run_benchmark(&cfg, kind, bench, params());
+            assert!(r.instructions >= 60_000, "{kind} {bench}");
+            assert!(r.ipc > 0.0 && r.ipc < 16.0, "{kind} {bench}: IPC {}", r.ipc);
+            assert!(r.engine_stats.read_misses > 0, "{kind} {bench}");
+            assert!(
+                r.bandwidth_utilization > 0.0 && r.bandwidth_utilization <= 1.0,
+                "{kind} {bench}: util {}",
+                r.bandwidth_utilization
+            );
+            assert!(r.energy_per_instruction_nj > 0.0);
+        }
+    }
+}
+
+#[test]
+fn fig1_invariants_hold_per_engine() {
+    let cfg = SystemConfig::isca_table1();
+    for &bench in BENCHES {
+        // No encryption / counterless: zero metadata traffic ever.
+        for kind in [EngineKind::None, EngineKind::Counterless] {
+            let r = run_benchmark(&cfg, kind, bench, params());
+            assert_eq!(r.engine_stats.metadata_reads, 0, "{kind} {bench}");
+            assert_eq!(r.engine_stats.metadata_writes, 0, "{kind} {bench}");
+            assert_eq!(r.engine_stats.counter_fetches, 0, "{kind} {bench}");
+        }
+        // Counter-light: no read-path counter fetches; any metadata
+        // traffic is attributable to writebacks.
+        let light = run_benchmark(&cfg, EngineKind::CounterLight, bench, params());
+        assert_eq!(light.engine_stats.counter_fetches, 0, "{bench}");
+        if light.engine_stats.writebacks == 0 {
+            assert_eq!(light.engine_stats.metadata_reads, 0, "{bench}");
+        }
+        // Counter mode: counters fetched on the read path.
+        let cm = run_benchmark(&cfg, EngineKind::CounterMode, bench, params());
+        assert!(cm.engine_stats.counter_fetches > 0, "{bench}");
+        assert!(
+            cm.engine_stats.metadata_reads >= cm.engine_stats.counter_fetches,
+            "{bench}"
+        );
+    }
+}
+
+#[test]
+fn stall_ordering_matches_the_paper() {
+    // Post-arrival cipher stall: none < counter-light ≤ counterless.
+    let cfg = SystemConfig::isca_table1();
+    for &bench in BENCHES {
+        let none = run_benchmark(&cfg, EngineKind::None, bench, params());
+        let light = run_benchmark(&cfg, EngineKind::CounterLight, bench, params());
+        let cxl = run_benchmark(&cfg, EngineKind::Counterless, bench, params());
+        let s_none = none.engine_stats.mean_stall_after_data();
+        let s_light = light.engine_stats.mean_stall_after_data();
+        let s_cxl = cxl.engine_stats.mean_stall_after_data();
+        assert!(s_none < s_light, "{bench}: {s_none} !< {s_light}");
+        assert!(s_light <= s_cxl, "{bench}: {s_light} !<= {s_cxl}");
+    }
+}
