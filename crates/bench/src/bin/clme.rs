@@ -1,7 +1,7 @@
 //! `clme` — command-line simulation runner.
 //!
-//! Run any benchmark under any engine and configuration without writing
-//! code:
+//! Single runs: any benchmark under any engine and configuration without
+//! writing code:
 //!
 //! ```text
 //! cargo run --release -p clme-bench --bin clme -- \
@@ -11,12 +11,24 @@
 //!
 //! Prints the [`clme_sim::SimResult`] report plus a normalised
 //! comparison against the unencrypted baseline when `--baseline` is set.
+//!
+//! Matrix runs: the whole (workload × engine × config) evaluation grid,
+//! in parallel, with one stats-snapshot JSON per cell:
+//!
+//! ```text
+//! clme matrix --tiny --out goldens/tiny     # run grid, write snapshots
+//! clme diff --tiny --golden goldens/tiny    # re-run, diff vs goldens
+//! ```
+//!
+//! See EXPERIMENTS.md for the snapshot format and the golden workflow.
 
 use clme_core::engine::EngineKind;
-use clme_sim::{run_benchmark, SimParams};
+use clme_sim::matrix::{all_engines, RunMatrix};
+use clme_sim::{compare, run_benchmark, SimParams, StatsSnapshot, Tolerance};
 use clme_types::config::AesStrength;
 use clme_types::SystemConfig;
 use clme_workloads::suites;
+use std::path::{Path, PathBuf};
 
 struct Args {
     engine: EngineKind,
@@ -118,7 +130,214 @@ fn parse_args() -> Args {
     args
 }
 
+/// The master seed `clme matrix`/`clme diff` use unless `--seed` is
+/// given; golden snapshots are generated with it.
+const DEFAULT_MATRIX_SEED: u64 = 0x00C0_FFEE;
+
+struct MatrixArgs {
+    tiny: bool,
+    threads: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+    golden: Option<PathBuf>,
+    tolerance: f64,
+}
+
+fn matrix_usage() -> ! {
+    eprintln!(
+        "usage: clme matrix [--tiny] [--threads N] [--seed HEX|DEC] [--out DIR]\n\
+         \x20      clme diff   [--tiny] [--threads N] [--seed HEX|DEC] --golden DIR [--tol FRACTION]\n\
+         \n\
+         matrix runs the (workload x engine x config) grid in parallel and\n\
+         prints one summary row per cell; --out also writes one stats-snapshot\n\
+         JSON per cell. diff re-runs the same grid and compares each cell\n\
+         against DIR/<config>__<engine>__<bench>.json with a tolerance band\n\
+         (default 2% relative). --tiny selects the 12-cell smoke grid the\n\
+         checked-in goldens cover; the default grid is the paper's 72 cells."
+    );
+    std::process::exit(2)
+}
+
+fn parse_matrix_args(args: &[String]) -> MatrixArgs {
+    let mut parsed = MatrixArgs {
+        tiny: false,
+        // At least 4 workers even on small containers: the cells are
+        // independent and short, so oversubscription is harmless, and the
+        // matrix must exercise its parallel path everywhere.
+        threads: std::thread::available_parallelism().map_or(4, usize::from).max(4),
+        seed: DEFAULT_MATRIX_SEED,
+        out: None,
+        golden: None,
+        tolerance: 0.02,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                matrix_usage()
+            })
+        };
+        match flag.as_str() {
+            "--tiny" => parsed.tiny = true,
+            "--threads" => {
+                parsed.threads = value("--threads").parse().unwrap_or_else(|_| matrix_usage())
+            }
+            "--seed" => {
+                let text = value("--seed");
+                parsed.seed = if let Some(hex) = text.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).unwrap_or_else(|_| matrix_usage())
+                } else {
+                    text.parse().unwrap_or_else(|_| matrix_usage())
+                }
+            }
+            "--out" => parsed.out = Some(PathBuf::from(value("--out"))),
+            "--golden" => parsed.golden = Some(PathBuf::from(value("--golden"))),
+            "--tol" => {
+                parsed.tolerance = value("--tol").parse().unwrap_or_else(|_| matrix_usage())
+            }
+            "--help" | "-h" => matrix_usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                matrix_usage()
+            }
+        }
+    }
+    parsed
+}
+
+/// Builds the grid the flags select: the 12-cell `--tiny` smoke grid
+/// (3 benchmarks x 4 engines x table1) or the full evaluation grid
+/// (9 irregular benchmarks x 4 engines x {table1, low-bw}).
+fn build_matrix(args: &MatrixArgs) -> RunMatrix {
+    if args.tiny {
+        RunMatrix::new(
+            SimParams {
+                functional_warmup_accesses: 20_000,
+                warmup_per_core: 10_000,
+                measure_per_core: 20_000,
+            },
+            args.seed,
+        )
+        .benches(["bfs", "canneal", "streamcluster"])
+        .engines(all_engines())
+        .configs([("table1".to_string(), SystemConfig::isca_table1())])
+    } else {
+        RunMatrix::new(clme_bench::params_from_env(), args.seed)
+            .benches(suites::IRREGULAR.iter().copied())
+            .engines(all_engines())
+            .configs([
+                ("table1".to_string(), SystemConfig::isca_table1()),
+                ("low-bw".to_string(), SystemConfig::low_bandwidth()),
+            ])
+    }
+}
+
+fn print_cell_summary(snap: &StatsSnapshot) {
+    println!(
+        "{:<44} ipc {:>6.3}  stall {:>6.2} ns  cxl-wb {:>5.1}%  util {:>5.1}%",
+        snap.label(),
+        snap.metric("ipc").unwrap_or(0.0),
+        snap.metric("engine.mean_stall_after_data_ns").unwrap_or(0.0),
+        snap.metric("engine.counterless_writeback_fraction").unwrap_or(0.0) * 100.0,
+        snap.metric("dram.bandwidth_utilization").unwrap_or(0.0) * 100.0,
+    );
+}
+
+fn run_matrix_command(args: &[String]) -> i32 {
+    let args = parse_matrix_args(args);
+    let matrix = build_matrix(&args);
+    let cells = matrix.cells();
+    eprintln!(
+        "running {} cells on {} threads (seed {:#x})",
+        cells.len(),
+        args.threads,
+        matrix.seed()
+    );
+    let snapshots = matrix.run(args.threads);
+    for snap in &snapshots {
+        print_cell_summary(snap);
+    }
+    if let Some(dir) = &args.out {
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {err}", dir.display());
+            return 1;
+        }
+        for snap in &snapshots {
+            let path = dir.join(format!("{}.json", snap.file_stem()));
+            if let Err(err) = std::fs::write(&path, snap.to_json()) {
+                eprintln!("cannot write {}: {err}", path.display());
+                return 1;
+            }
+        }
+        eprintln!("wrote {} snapshots to {}", snapshots.len(), dir.display());
+    }
+    0
+}
+
+fn load_golden(dir: &Path, stem: &str) -> Result<StatsSnapshot, String> {
+    let path = dir.join(format!("{stem}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+    StatsSnapshot::from_json(&text).map_err(|err| format!("{}: {err}", path.display()))
+}
+
+fn run_diff_command(args: &[String]) -> i32 {
+    let args = parse_matrix_args(args);
+    let Some(golden_dir) = &args.golden else {
+        eprintln!("diff needs --golden DIR");
+        matrix_usage()
+    };
+    let tolerance = Tolerance {
+        relative: args.tolerance,
+        absolute: 1e-9,
+    };
+    let matrix = build_matrix(&args);
+    eprintln!(
+        "diffing {} cells against {} (tolerance {}%, seed {:#x})",
+        matrix.cells().len(),
+        golden_dir.display(),
+        args.tolerance * 100.0,
+        matrix.seed()
+    );
+    let snapshots = matrix.run(args.threads);
+    let mut bad_cells = 0usize;
+    for fresh in &snapshots {
+        match load_golden(golden_dir, &fresh.file_stem()) {
+            Err(err) => {
+                bad_cells += 1;
+                println!("MISSING {:<40} {err}", fresh.label());
+            }
+            Ok(golden) => {
+                let deviations = compare(&golden, fresh, tolerance);
+                if deviations.is_empty() {
+                    println!("ok      {}", fresh.label());
+                } else {
+                    bad_cells += 1;
+                    println!("DEVIATES {}", fresh.label());
+                    for line in deviations {
+                        println!("    {line}");
+                    }
+                }
+            }
+        }
+    }
+    if bad_cells == 0 {
+        println!("all {} cells within tolerance", snapshots.len());
+        0
+    } else {
+        println!("{bad_cells} of {} cells out of tolerance", snapshots.len());
+        1
+    }
+}
+
 fn main() {
+    let all: Vec<String> = std::env::args().skip(1).collect();
+    match all.first().map(String::as_str) {
+        Some("matrix") => std::process::exit(run_matrix_command(&all[1..])),
+        Some("diff") => std::process::exit(run_diff_command(&all[1..])),
+        _ => {}
+    }
     let args = parse_args();
     let mut cfg = if args.low_bandwidth {
         SystemConfig::low_bandwidth()

@@ -384,17 +384,16 @@ mod tests {
 #[cfg(test)]
 mod hierarchy_properties {
     use super::*;
-    use proptest::prelude::*;
+    use clme_types::rng::Xoshiro256;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// After any access sequence: re-accessing the last-touched block
-        /// hits L1, and every reported writeback was previously written.
-        #[test]
-        fn recency_and_writeback_soundness(
-            accesses in prop::collection::vec((0u64..4096, any::<bool>(), 0usize..2), 1..300)
-        ) {
+    /// After any access sequence: re-accessing the last-touched block
+    /// hits L1, and every reported writeback was previously written.
+    /// Randomised over 24 seeded access sequences.
+    #[test]
+    fn recency_and_writeback_soundness() {
+        for case in 0..24u64 {
+            let mut rng = Xoshiro256::seed_from(0x4EC3 + case);
+            let len = 1 + rng.below(299) as usize;
             let mut cfg = SystemConfig::isca_table1();
             cfg.cores = 2;
             cfg.l1d.capacity_bytes = 2 << 10;
@@ -402,16 +401,26 @@ mod hierarchy_properties {
             cfg.llc.capacity_bytes = 32 << 10;
             let mut caches = MemorySystemCaches::new(&cfg);
             let mut ever_written = std::collections::HashSet::new();
-            for &(block, write, core) in &accesses {
+            for _ in 0..len {
+                let block = rng.below(4096);
+                let write = rng.chance(0.5);
+                let core = rng.below(2) as usize;
                 if write {
                     ever_written.insert(block);
                 }
                 let result = caches.access(core, block, write);
                 for wb in &result.writebacks {
-                    prop_assert!(ever_written.contains(wb), "writeback of never-written {wb}");
+                    assert!(
+                        ever_written.contains(wb),
+                        "case {case}: writeback of never-written {wb}"
+                    );
                 }
                 let again = caches.access(core, block, false);
-                prop_assert_eq!(again.level, Some(HitLevel::L1), "just-touched block must hit L1");
+                assert_eq!(
+                    again.level,
+                    Some(HitLevel::L1),
+                    "case {case}: just-touched block must hit L1"
+                );
             }
         }
     }

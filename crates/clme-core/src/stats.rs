@@ -95,6 +95,31 @@ impl EngineStats {
     pub fn counter_late_fraction(&self) -> f64 {
         self.counter_skew.fraction_at_or_above(0)
     }
+
+    /// Exports every counter and derived metric as stable
+    /// `(name, value)` pairs, in a fixed order, for the stats-snapshot
+    /// layer. All four engines share this schema, so snapshots of
+    /// different engines are directly diffable field-by-field.
+    pub fn export(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("read_misses", self.read_misses as f64),
+            ("writebacks", self.writebacks as f64),
+            ("prefetch_fills", self.prefetch_fills as f64),
+            ("counter_fetches", self.counter_fetches as f64),
+            ("metadata_reads", self.metadata_reads as f64),
+            ("metadata_writes", self.metadata_writes as f64),
+            ("counterless_writebacks", self.counterless_writebacks as f64),
+            ("counter_mode_writebacks", self.counter_mode_writebacks as f64),
+            ("counterless_writeback_fraction", self.counterless_writeback_fraction()),
+            ("memo_hits", self.memo.hits() as f64),
+            ("memo_lookups", self.memo.total() as f64),
+            ("memo_hit_rate", self.memo.rate()),
+            ("reads_in_counter_mode", self.reads_in_counter_mode as f64),
+            ("mean_read_latency_ns", self.mean_read_latency().as_ns_f64()),
+            ("mean_stall_after_data_ns", self.mean_stall_after_data().as_ns_f64()),
+            ("counter_late_fraction", self.counter_late_fraction()),
+        ]
+    }
 }
 
 impl Default for EngineStats {
@@ -163,6 +188,28 @@ mod tests {
         assert!(line.contains("misses 3"));
         assert!(line.contains("wbs 2"));
         assert!(line.contains("memo"));
+    }
+
+    #[test]
+    fn export_is_stable_and_complete() {
+        let mut s = EngineStats::new();
+        s.read_misses = 4;
+        s.total_read_latency = TimeDelta::from_ns(100);
+        s.counterless_writebacks = 3;
+        s.counter_mode_writebacks = 1;
+        let fields = s.export();
+        let names: Vec<&str> = fields.iter().map(|&(n, _)| n).collect();
+        assert_eq!(names.first(), Some(&"read_misses"));
+        assert_eq!(names.last(), Some(&"counter_late_fraction"));
+        // No duplicate field names (they become JSON keys).
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        let get = |name: &str| fields.iter().find(|&&(n, _)| n == name).unwrap().1;
+        assert_eq!(get("read_misses"), 4.0);
+        assert_eq!(get("mean_read_latency_ns"), 25.0);
+        assert!((get("counterless_writeback_fraction") - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //! * [`machine`] — cores → cache hierarchy → encryption engine → DRAM.
 //! * [`result`] — [`result::SimResult`] and the figures' derived metrics.
 //! * [`run`] — one-call helpers: pick a config, an engine, a benchmark.
+//! * [`matrix`] — the parallel deterministic (workload × engine ×
+//!   config) run-matrix driver.
+//! * [`report`] — [`report::StatsSnapshot`]: per-component counters with
+//!   a byte-stable JSON encoding and tolerance-band golden diffing.
 //!
 //! # Examples
 //!
@@ -22,9 +26,13 @@
 
 pub mod core;
 pub mod machine;
+pub mod matrix;
+pub mod report;
 pub mod result;
 pub mod run;
 
 pub use machine::Machine;
+pub use matrix::{MatrixCell, RunMatrix};
+pub use report::{compare, StatsSnapshot, Tolerance};
 pub use result::SimResult;
-pub use run::{run_benchmark, run_with_engine, SimParams};
+pub use run::{run_benchmark, run_benchmark_seeded, run_with_engine, SimParams};

@@ -215,6 +215,9 @@ impl Machine {
             dram_writes: tracker.writes(),
             dram_busy: tracker.busy_time(),
             activations: self.dram.activations(),
+            row_hits: self.dram.row_hits(),
+            row_closed: self.dram.row_closed(),
+            row_conflicts: self.dram.row_conflicts(),
             bandwidth_utilization: tracker.utilization(elapsed_nonzero),
             llc_demand_hit: self.caches.llc_demand_hit_ratio(),
             energy_per_instruction_nj: power.energy_per_instruction(

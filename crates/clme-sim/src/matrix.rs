@@ -1,0 +1,246 @@
+//! The parallel, deterministic run-matrix driver.
+//!
+//! The paper's whole evaluation is a grid of (workload × engine ×
+//! configuration) simulations — Figs. 8, 16, 20–23 all sweep it.
+//! [`RunMatrix`] makes that grid a first-class artifact: it enumerates
+//! the cells in a stable order, derives an independent workload seed per
+//! cell from the matrix seed and the cell's *label* (so adding or
+//! filtering cells never shifts another cell's stream), fans the cells
+//! out over `std::thread` workers, and returns one
+//! [`StatsSnapshot`](crate::report::StatsSnapshot) per cell in
+//! enumeration order — byte-identical no matter how many threads ran it.
+
+use crate::report::StatsSnapshot;
+use crate::run::{run_benchmark_seeded, SimParams};
+use clme_core::engine::EngineKind;
+use clme_types::rng::SplitMix64;
+use clme_types::SystemConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One cell of the evaluation grid.
+#[derive(Clone, Debug)]
+pub struct MatrixCell {
+    /// Benchmark name.
+    pub bench: String,
+    /// Engine under test.
+    pub engine: EngineKind,
+    /// Configuration label (stable; part of the seed derivation).
+    pub config_name: String,
+    /// The configuration itself.
+    pub config: SystemConfig,
+}
+
+impl MatrixCell {
+    /// The cell's stable label, `config/engine/benchmark` — the key used
+    /// for seed derivation and snapshot file names.
+    pub fn label(&self) -> String {
+        format!("{}/{}/{}", self.config_name, self.engine, self.bench)
+    }
+}
+
+/// The (workload × engine × config) grid plus the run parameters.
+#[derive(Clone, Debug)]
+pub struct RunMatrix {
+    benches: Vec<String>,
+    engines: Vec<EngineKind>,
+    configs: Vec<(String, SystemConfig)>,
+    params: SimParams,
+    seed: u64,
+}
+
+impl RunMatrix {
+    /// Creates an empty matrix with the given window sizes and master
+    /// seed. Populate it with [`benches`](Self::benches),
+    /// [`engines`](Self::engines), and [`configs`](Self::configs).
+    pub fn new(params: SimParams, seed: u64) -> RunMatrix {
+        RunMatrix {
+            benches: Vec::new(),
+            engines: Vec::new(),
+            configs: Vec::new(),
+            params,
+            seed,
+        }
+    }
+
+    /// Sets the benchmark axis.
+    pub fn benches<I: IntoIterator<Item = S>, S: Into<String>>(mut self, benches: I) -> RunMatrix {
+        self.benches = benches.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the engine axis.
+    pub fn engines<I: IntoIterator<Item = EngineKind>>(mut self, engines: I) -> RunMatrix {
+        self.engines = engines.into_iter().collect();
+        self
+    }
+
+    /// Sets the configuration axis (label + config pairs; labels must be
+    /// unique — they key the seed derivation and golden file names).
+    pub fn configs<I: IntoIterator<Item = (S, SystemConfig)>, S: Into<String>>(
+        mut self,
+        configs: I,
+    ) -> RunMatrix {
+        self.configs = configs.into_iter().map(|(n, c)| (n.into(), c)).collect();
+        self
+    }
+
+    /// The matrix master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-run window sizes.
+    pub fn params(&self) -> SimParams {
+        self.params
+    }
+
+    /// Enumerates the grid in its stable order: configs outermost, then
+    /// engines, then benchmarks.
+    pub fn cells(&self) -> Vec<MatrixCell> {
+        let mut cells =
+            Vec::with_capacity(self.configs.len() * self.engines.len() * self.benches.len());
+        for (config_name, config) in &self.configs {
+            for &engine in &self.engines {
+                for bench in &self.benches {
+                    cells.push(MatrixCell {
+                        bench: bench.clone(),
+                        engine,
+                        config_name: config_name.clone(),
+                        config: config.clone(),
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// The workload seed for one cell: a pure function of the matrix
+    /// seed and the cell label, independent of enumeration order,
+    /// filtering, and thread scheduling.
+    pub fn cell_seed(&self, cell: &MatrixCell) -> u64 {
+        SplitMix64::new(self.seed).derive(cell.label().as_bytes())
+    }
+
+    /// Runs every cell on `threads` worker threads (clamped to ≥ 1) and
+    /// returns the snapshots in [`cells`](Self::cells) order.
+    ///
+    /// Cells are handed to workers through an atomic cursor, so any
+    /// number of threads produces the same snapshots — each cell is a
+    /// fully independent simulation seeded only by [`cell_seed`]
+    /// (Self::cell_seed), and results are written back by cell index.
+    pub fn run(&self, threads: usize) -> Vec<StatsSnapshot> {
+        let cells = self.cells();
+        let threads = threads.max(1).min(cells.len().max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<StatsSnapshot>>> = Mutex::new(vec![None; cells.len()]);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(index) else {
+                        break;
+                    };
+                    let snapshot = self.run_cell(cell);
+                    slots.lock().expect("matrix worker panicked")[index] = Some(snapshot);
+                });
+            }
+        });
+
+        slots
+            .into_inner()
+            .expect("matrix worker panicked")
+            .into_iter()
+            .map(|slot| slot.expect("every cell ran"))
+            .collect()
+    }
+
+    /// Runs a single cell synchronously.
+    pub fn run_cell(&self, cell: &MatrixCell) -> StatsSnapshot {
+        let seed = self.cell_seed(cell);
+        let result =
+            run_benchmark_seeded(&cell.config, cell.engine, &cell.bench, self.params, seed);
+        StatsSnapshot::capture(&result, &cell.config_name, seed)
+    }
+}
+
+/// All four stock engines, in the paper's comparison order.
+pub fn all_engines() -> [EngineKind; 4] {
+    [
+        EngineKind::None,
+        EngineKind::Counterless,
+        EngineKind::CounterMode,
+        EngineKind::CounterLight,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunMatrix {
+        RunMatrix::new(
+            SimParams {
+                functional_warmup_accesses: 2_000,
+                warmup_per_core: 1_000,
+                measure_per_core: 4_000,
+            },
+            7,
+        )
+        .benches(["bfs", "streamcluster"])
+        .engines([EngineKind::None, EngineKind::CounterLight])
+        .configs([("table1", SystemConfig::isca_table1())])
+    }
+
+    #[test]
+    fn cells_enumerate_in_stable_order() {
+        let labels: Vec<String> = tiny().cells().iter().map(MatrixCell::label).collect();
+        assert_eq!(
+            labels,
+            [
+                "table1/no-encryption/bfs",
+                "table1/no-encryption/streamcluster",
+                "table1/counter-light/bfs",
+                "table1/counter-light/streamcluster",
+            ]
+        );
+    }
+
+    #[test]
+    fn cell_seeds_are_label_keyed() {
+        let m = tiny();
+        let cells = m.cells();
+        let seeds: Vec<u64> = cells.iter().map(|c| m.cell_seed(c)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "per-cell seeds must differ");
+        // Filtering the matrix must not move surviving cells' seeds.
+        let filtered = tiny().benches(["streamcluster"]);
+        let filtered_cells = filtered.cells();
+        assert_eq!(filtered.cell_seed(&filtered_cells[0]), seeds[1]);
+        // A different master seed moves every cell.
+        let other = RunMatrix { seed: 8, ..tiny() };
+        assert_ne!(other.cell_seed(&cells[0]), seeds[0]);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_run_exactly() {
+        let m = tiny();
+        let serial = m.run(1);
+        let parallel = m.run(4);
+        assert_eq!(serial.len(), 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_json(), b.to_json(), "cell {}", a.label());
+        }
+    }
+
+    #[test]
+    fn run_cell_is_what_run_runs() {
+        let m = tiny();
+        let all = m.run(2);
+        let lone = m.run_cell(&m.cells()[2]);
+        assert_eq!(all[2], lone);
+    }
+}

@@ -28,6 +28,12 @@ pub struct SimResult {
     pub dram_busy: TimeDelta,
     /// Row activations.
     pub activations: u64,
+    /// Demand DRAM accesses that hit an open row.
+    pub row_hits: u64,
+    /// Demand DRAM accesses that found the row buffer closed.
+    pub row_closed: u64,
+    /// Demand DRAM accesses that conflicted with a different open row.
+    pub row_conflicts: u64,
     /// DRAM bandwidth utilisation over the window (Fig. 18's metric).
     pub bandwidth_utilization: f64,
     /// LLC demand hit ratio.
@@ -110,6 +116,9 @@ mod tests {
             dram_writes: 0,
             dram_busy: TimeDelta::ZERO,
             activations: 0,
+            row_hits: 0,
+            row_closed: 0,
+            row_conflicts: 0,
             bandwidth_utilization: 0.0,
             llc_demand_hit: Ratio::new(),
             energy_per_instruction_nj: 2.0,

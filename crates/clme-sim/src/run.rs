@@ -44,15 +44,29 @@ impl SimParams {
     }
 }
 
-/// Runs `bench` under the stock engine `kind`.
+/// Runs `bench` under the stock engine `kind` with the default workload
+/// seed ([`suites::DEFAULT_SEED`]).
 pub fn run_benchmark(
     cfg: &SystemConfig,
     kind: EngineKind,
     bench: &str,
     params: SimParams,
 ) -> SimResult {
+    run_benchmark_seeded(cfg, kind, bench, params, suites::DEFAULT_SEED)
+}
+
+/// Runs `bench` under the stock engine `kind` with every workload stream
+/// derived from `seed` — the entry point the run-matrix driver uses so
+/// each cell is reproducible from (config, engine, bench, seed) alone.
+pub fn run_benchmark_seeded(
+    cfg: &SystemConfig,
+    kind: EngineKind,
+    bench: &str,
+    params: SimParams,
+    seed: u64,
+) -> SimResult {
     let engine = build_engine(kind, cfg, suites::address_space_blocks());
-    run_with_engine(cfg, engine, bench, params)
+    run_with_engine_seeded(cfg, engine, bench, params, seed)
 }
 
 /// Runs `bench` under a custom engine (ablations).
@@ -62,7 +76,20 @@ pub fn run_with_engine(
     bench: &str,
     params: SimParams,
 ) -> SimResult {
-    let workloads = (0..cfg.cores).map(|c| suites::instantiate(bench, c)).collect();
+    run_with_engine_seeded(cfg, engine, bench, params, suites::DEFAULT_SEED)
+}
+
+/// Runs `bench` under a custom engine with an explicit workload seed.
+pub fn run_with_engine_seeded(
+    cfg: &SystemConfig,
+    engine: Box<dyn EncryptionEngine>,
+    bench: &str,
+    params: SimParams,
+    seed: u64,
+) -> SimResult {
+    let workloads = (0..cfg.cores)
+        .map(|c| suites::instantiate_seeded(bench, c, seed))
+        .collect();
     let mut machine = Machine::new(cfg.clone(), engine, workloads);
     machine.functional_warmup(params.functional_warmup_accesses);
     machine.run(params.warmup_per_core, params.measure_per_core)

@@ -9,8 +9,12 @@
 //! * [`config`] — the full system configuration from the paper's Table I.
 //! * [`stats`] — histogram and running-average helpers used by the
 //!   evaluation harness (e.g. the Fig. 8 arrival-skew distribution).
-//! * [`rng`] — a small deterministic PRNG (SplitMix64 / xoshiro256**) so
-//!   simulations are reproducible bit-for-bit from a seed.
+//! * [`rng`] — small deterministic PRNGs ([`rng::SplitMix64`],
+//!   [`rng::Xoshiro256`]) so simulations are reproducible bit-for-bit
+//!   from a seed, including labelled per-cell seed derivation for the
+//!   run-matrix driver.
+//! * [`json`] — a dependency-free, byte-stable JSON encoder/decoder used
+//!   for stats snapshots and golden-file diffing.
 //!
 //! # Examples
 //!
@@ -24,6 +28,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -2,8 +2,78 @@
 //!
 //! The simulator must be reproducible bit-for-bit from a seed so that the
 //! figure harnesses print stable numbers. [`Xoshiro256`] implements
-//! xoshiro256** seeded through SplitMix64 — the standard, well-analysed
-//! construction — without pulling a dependency into every crate.
+//! xoshiro256** seeded through [`SplitMix64`] — the standard,
+//! well-analysed construction — without pulling a dependency into every
+//! crate. [`SplitMix64`] is also exposed directly: its single-u64 state
+//! makes it the right tool for deriving independent per-cell seeds in the
+//! run-matrix driver (every cell's stream is a pure function of the
+//! matrix seed and the cell's stable label, regardless of scheduling).
+
+/// The SplitMix64 generator: one u64 of state, one multiply-xor-shift
+/// avalanche per output. Passes BigCrush when used as a stream; its main
+/// role here is seed derivation and cheap labelled sub-streams.
+///
+/// Not cryptographically secure.
+///
+/// # Examples
+///
+/// ```
+/// use clme_types::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(7);
+/// let mut b = SplitMix64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// // Labelled derivation is order-independent:
+/// let s1 = SplitMix64::new(42).derive(b"cell/bfs/counter-light");
+/// let s2 = SplitMix64::new(42).derive(b"cell/bfs/counter-light");
+/// assert_eq!(s1, s2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        split_mix64(&mut self.state)
+    }
+
+    /// Returns a uniformly random value in `[0, bound)` by the
+    /// multiply-shift method (bias < 2⁻⁶⁴·bound, irrelevant here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Derives an independent child seed from this generator's current
+    /// state and a stable byte label (e.g. a run-matrix cell name). Does
+    /// not consume this generator's stream, so derivation order cannot
+    /// affect any other stream.
+    pub fn derive(&self, label: &[u8]) -> u64 {
+        // FNV-1a over the label, folded into the state through one extra
+        // SplitMix64 avalanche so related labels decorrelate.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for &byte in label {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut mixed = self.state ^ h;
+        split_mix64(&mut mixed)
+    }
+}
 
 /// A xoshiro256** PRNG, seeded via SplitMix64.
 ///
@@ -28,10 +98,10 @@ impl Xoshiro256 {
     /// Creates a generator from a 64-bit seed by expanding it through
     /// SplitMix64 (as recommended by the xoshiro authors).
     pub fn seed_from(seed: u64) -> Xoshiro256 {
-        let mut sm = seed;
+        let mut sm = SplitMix64::new(seed);
         let mut s = [0u64; 4];
         for slot in &mut s {
-            *slot = split_mix64(&mut sm);
+            *slot = sm.next_u64();
         }
         // All-zero state is invalid for xoshiro; SplitMix64 of any seed
         // cannot produce four zeros, but guard anyway.
@@ -190,5 +260,45 @@ mod tests {
     fn below_zero_bound_panics() {
         let mut rng = Xoshiro256::seed_from(0);
         let _ = rng.below(0);
+    }
+
+    #[test]
+    fn splitmix_known_answer() {
+        // Reference value from the canonical SplitMix64 (Steele et al.):
+        // seed 0 → first output 0xE220A8397B1DCDAF.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+    }
+
+    #[test]
+    fn splitmix_below_in_range() {
+        let mut sm = SplitMix64::new(99);
+        for _ in 0..1000 {
+            assert!(sm.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn derive_is_pure_and_label_sensitive() {
+        let base = SplitMix64::new(5);
+        assert_eq!(base.derive(b"a"), base.derive(b"a"));
+        assert_ne!(base.derive(b"a"), base.derive(b"b"));
+        assert_ne!(base.derive(b"a"), SplitMix64::new(6).derive(b"a"));
+        // Derivation does not perturb the stream.
+        let mut x = SplitMix64::new(5);
+        let _ = x.derive(b"whatever");
+        let mut y = SplitMix64::new(5);
+        assert_eq!(x.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn xoshiro_seeding_still_matches_splitmix_expansion() {
+        // Xoshiro256::seed_from must keep producing the historical
+        // streams (golden snapshots depend on workload determinism).
+        let mut a = Xoshiro256::seed_from(42);
+        let mut b = Xoshiro256::seed_from(42);
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 }

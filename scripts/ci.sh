@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: offline build, full test suite, and a golden smoke diff
+# of the 12-cell tiny run matrix. No network, no external crates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== tests =="
+cargo test -q --offline
+
+echo "== golden smoke diff (tiny matrix) =="
+cargo run --release -q --offline -p clme-bench --bin clme -- \
+    diff --tiny --golden goldens/tiny
+
+echo "ci: all green"

@@ -1,5 +1,7 @@
-//! Property-based tests over the cryptographic substrate: round trips,
-//! tamper detection, and codec inversions under arbitrary inputs.
+//! Randomised tests over the cryptographic substrate: round trips,
+//! tamper detection, and codec inversions under seeded-random inputs.
+//! Each test sweeps a fixed number of deterministic cases so failures
+//! reproduce exactly (the seed is in the assertion message).
 
 use clme::crypto::keys::KeyMaterial;
 use clme::crypto::mac::counterless_mac;
@@ -7,103 +9,144 @@ use clme::crypto::otp::xor64;
 use clme::crypto::Aes;
 use clme::ecc::codec::{decode_meta, encode};
 use clme::ecc::encmeta::{EncMeta, MetaWord, COUNTERLESS_FLAG};
-use proptest::prelude::*;
+use clme::types::rng::Xoshiro256;
 
-fn arb_block64() -> impl Strategy<Value = [u8; 64]> {
-    prop::array::uniform32(any::<u8>()).prop_flat_map(|a| {
-        prop::array::uniform32(any::<u8>()).prop_map(move |b| {
-            let mut out = [0u8; 64];
-            out[..32].copy_from_slice(&a);
-            out[32..].copy_from_slice(&b);
-            out
-        })
-    })
+const CASES: u64 = 48;
+
+fn bytes<const N: usize>(rng: &mut Xoshiro256) -> [u8; N] {
+    let mut out = [0u8; N];
+    rng.fill_bytes(&mut out);
+    out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn aes128_round_trips(key in prop::array::uniform16(any::<u8>()),
-                          pt in prop::array::uniform16(any::<u8>())) {
-        let aes = Aes::new_128(key);
-        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(pt)), pt);
+#[test]
+fn aes128_round_trips() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0xAE5_128 + case);
+        let aes = Aes::new_128(bytes::<16>(&mut rng));
+        let pt = bytes::<16>(&mut rng);
+        assert_eq!(aes.decrypt_block(aes.encrypt_block(pt)), pt, "case {case}");
     }
+}
 
-    #[test]
-    fn aes256_round_trips(key in prop::array::uniform32(any::<u8>()),
-                          pt in prop::array::uniform16(any::<u8>())) {
-        let aes = Aes::new_256(key);
-        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(pt)), pt);
+#[test]
+fn aes256_round_trips() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0xAE5_256 + case);
+        let aes = Aes::new_256(bytes::<32>(&mut rng));
+        let pt = bytes::<16>(&mut rng);
+        assert_eq!(aes.decrypt_block(aes.encrypt_block(pt)), pt, "case {case}");
     }
+}
 
-    #[test]
-    fn xts_round_trips_and_randomises(master in prop::array::uniform32(any::<u8>()),
-                                      addr in any::<u64>(),
-                                      pt in arb_block64()) {
-        let keys = KeyMaterial::from_master(master);
+#[test]
+fn xts_round_trips_and_randomises() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0x7175 + case);
+        let keys = KeyMaterial::from_master(bytes::<32>(&mut rng));
+        let addr = rng.next_u64();
+        let pt = bytes::<64>(&mut rng);
         let ct = keys.xts().encrypt_block64(addr, &pt);
-        prop_assert_eq!(keys.xts().decrypt_block64(addr, &ct), pt);
+        assert_eq!(keys.xts().decrypt_block64(addr, &ct), pt, "case {case}");
         // Ciphertext must differ from plaintext (with overwhelming prob.).
-        prop_assert_ne!(ct, pt);
+        assert_ne!(ct, pt, "case {case}");
     }
+}
 
-    #[test]
-    fn otp_round_trips(master in prop::array::uniform32(any::<u8>()),
-                       addr in any::<u64>(),
-                       counter in any::<u64>(),
-                       pt in arb_block64()) {
-        let keys = KeyMaterial::from_master(master);
+#[test]
+fn otp_round_trips() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0x07B0 + case);
+        let keys = KeyMaterial::from_master(bytes::<32>(&mut rng));
+        let addr = rng.next_u64();
+        let counter = rng.next_u64();
+        let pt = bytes::<64>(&mut rng);
         let ct = keys.otp().encrypt_block64(addr, counter, &pt);
-        prop_assert_eq!(keys.otp().decrypt_block64(addr, counter, &ct), pt);
+        assert_eq!(keys.otp().decrypt_block64(addr, counter, &ct), pt, "case {case}");
     }
+}
 
-    #[test]
-    fn distinct_counters_give_distinct_pads(master in prop::array::uniform32(any::<u8>()),
-                                            addr in any::<u64>(),
-                                            c1 in any::<u64>(), c2 in any::<u64>()) {
-        prop_assume!(c1 != c2);
-        let keys = KeyMaterial::from_master(master);
-        prop_assert_ne!(keys.otp().pad_block64(addr, c1), keys.otp().pad_block64(addr, c2));
+#[test]
+fn distinct_counters_give_distinct_pads() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0xD15C + case);
+        let keys = KeyMaterial::from_master(bytes::<32>(&mut rng));
+        let addr = rng.next_u64();
+        let c1 = rng.next_u64();
+        let c2 = rng.next_u64();
+        if c1 == c2 {
+            continue;
+        }
+        assert_ne!(
+            keys.otp().pad_block64(addr, c1),
+            keys.otp().pad_block64(addr, c2),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn counterless_mac_detects_any_tamper(key in prop::array::uniform32(any::<u8>()),
-                                          addr in any::<u64>(),
-                                          ct in arb_block64(),
-                                          byte in 0usize..64, flip in 1u8..=255) {
+#[test]
+fn counterless_mac_detects_any_tamper() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0x3AC0 + case);
+        let key = bytes::<32>(&mut rng);
+        let addr = rng.next_u64();
+        let ct = bytes::<64>(&mut rng);
+        let byte = rng.below(64) as usize;
+        let flip = 1 + rng.below(255) as u8;
         let tag = counterless_mac(&key, addr, &ct, COUNTERLESS_FLAG);
         let mut tampered = ct;
         tampered[byte] ^= flip;
-        prop_assert_ne!(counterless_mac(&key, addr, &tampered, COUNTERLESS_FLAG), tag);
+        assert_ne!(
+            counterless_mac(&key, addr, &tampered, COUNTERLESS_FLAG),
+            tag,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn counter_mode_mac_detects_any_tamper(master in prop::array::uniform32(any::<u8>()),
-                                           otp_trunc in any::<u64>(),
-                                           pt in arb_block64(),
-                                           counter in any::<u32>(),
-                                           byte in 0usize..64, flip in 1u8..=255) {
-        let keys = KeyMaterial::from_master(master);
+#[test]
+fn counter_mode_mac_detects_any_tamper() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0xC7AC + case);
+        let keys = KeyMaterial::from_master(bytes::<32>(&mut rng));
+        let otp_trunc = rng.next_u64();
+        let pt = bytes::<64>(&mut rng);
+        let counter = rng.next_u64() as u32;
+        let byte = rng.below(64) as usize;
+        let flip = 1 + rng.below(255) as u8;
         let tag = keys.counter_mode_mac().tag(otp_trunc, &pt, counter);
         let mut tampered = pt;
         tampered[byte] ^= flip;
-        prop_assert_ne!(keys.counter_mode_mac().tag(otp_trunc, &tampered, counter), tag);
+        assert_ne!(
+            keys.counter_mode_mac().tag(otp_trunc, &tampered, counter),
+            tag,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn parity_codec_inverts_for_any_meta(ct in arb_block64(),
-                                         mac in any::<u64>(),
-                                         raw_meta in any::<u32>(),
-                                         aux in any::<u32>()) {
+#[test]
+fn parity_codec_inverts_for_any_meta() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0xC0DE + case);
+        let ct = bytes::<64>(&mut rng);
+        let mac = rng.next_u64();
+        let raw_meta = rng.next_u64() as u32;
+        let aux = rng.next_u64() as u32;
         let meta = MetaWord::new(EncMeta::from_raw(raw_meta), aux);
         let block = encode(&ct, mac, meta);
-        prop_assert_eq!(decode_meta(&block), meta);
-        prop_assert_eq!(block.data(), ct);
+        assert_eq!(decode_meta(&block), meta, "case {case}");
+        assert_eq!(block.data(), ct, "case {case}");
     }
+}
 
-    #[test]
-    fn xor64_is_involutive(a in arb_block64(), b in arb_block64()) {
-        prop_assert_eq!(xor64(&xor64(&a, &b), &b), a);
+#[test]
+fn xor64_is_involutive() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0x1404 + case);
+        let a = bytes::<64>(&mut rng);
+        let b = bytes::<64>(&mut rng);
+        assert_eq!(xor64(&xor64(&a, &b), &b), a, "case {case}");
     }
 }

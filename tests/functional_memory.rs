@@ -8,7 +8,6 @@ use clme::ecc::inject::FaultInjector;
 use clme::ecc::layout::Chip;
 use clme::types::rng::Xoshiro256;
 use clme::types::BlockAddr;
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 /// Structured, low-entropy plaintext (so the entropy filter never
@@ -104,17 +103,15 @@ fn counter_overflow_switches_block_permanently() {
     assert_eq!(mem.read_block(block).unwrap(), plaintext(3));
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn corruption_of_any_chip_with_any_pattern_corrects(
-        block_idx in 0u64..1024,
-        chip_idx in 0usize..10,
-        flips in 1u64..,
-        counterless in any::<bool>(),
-        tag in any::<u8>()
-    ) {
+#[test]
+fn corruption_of_any_chip_with_any_pattern_corrects() {
+    for case in 0..24u64 {
+        let mut rng = Xoshiro256::seed_from(0xC0_4217 + case);
+        let block_idx = rng.below(1024);
+        let chip_idx = rng.below(10) as usize;
+        let flips = 1 + rng.below(u64::MAX - 1);
+        let counterless = rng.chance(0.5);
+        let tag = rng.next_u64() as u8;
         let mut mem = MemoryImage::new(1 << 20, [0x55; 32]);
         mem.set_writeback_mode(if counterless {
             WritebackMode::Counterless
@@ -125,11 +122,16 @@ proptest! {
         let pt = plaintext(tag);
         mem.write_block(block, &pt);
         mem.corrupt_chip(block, Chip::all()[chip_idx], flips);
-        prop_assert_eq!(mem.read_block(block).unwrap(), pt);
+        assert_eq!(mem.read_block(block).unwrap(), pt, "case {case}");
     }
+}
 
-    #[test]
-    fn repeated_writes_never_reuse_a_pad(n_writes in 2usize..20, tag in any::<u8>()) {
+#[test]
+fn repeated_writes_never_reuse_a_pad() {
+    for case in 0..24u64 {
+        let mut rng = Xoshiro256::seed_from(0x9AD5 + case);
+        let n_writes = 2 + rng.below(18) as usize;
+        let tag = rng.next_u64() as u8;
         let mut mem = MemoryImage::new(1 << 20, [0x66; 32]);
         let block = BlockAddr::new(9);
         let pt = plaintext(tag);
@@ -137,7 +139,10 @@ proptest! {
         for _ in 0..n_writes {
             mem.write_block(block, &pt);
             let raw = mem.raw_block(block).unwrap();
-            prop_assert!(seen.insert(raw.lanes), "identical ciphertext ⇒ pad reuse");
+            assert!(
+                seen.insert(raw.lanes),
+                "case {case}: identical ciphertext ⇒ pad reuse"
+            );
         }
     }
 }

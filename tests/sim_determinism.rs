@@ -108,6 +108,81 @@ fn mode_matches_read(image: &mut MemoryImage, block: BlockAddr, expected: &[u8; 
 }
 
 #[test]
+fn run_matrix_snapshots_are_byte_identical_across_runs_and_thread_counts() {
+    // The matrix driver's determinism contract: the same master seed
+    // yields byte-identical snapshot JSON on a repeated run AND under a
+    // different worker-thread count. This is what makes the checked-in
+    // goldens meaningful.
+    use clme::core::engine::EngineKind;
+    use clme::sim::RunMatrix;
+
+    let matrix = RunMatrix::new(
+        SimParams {
+            functional_warmup_accesses: 5_000,
+            warmup_per_core: 2_000,
+            measure_per_core: 6_000,
+        },
+        0x00C0_FFEE,
+    )
+    .benches(["bfs", "streamcluster"])
+    .engines([
+        EngineKind::None,
+        EngineKind::Counterless,
+        EngineKind::CounterMode,
+        EngineKind::CounterLight,
+    ])
+    .configs([("table1", SystemConfig::isca_table1())]);
+
+    let first: Vec<String> = matrix.run(1).iter().map(|s| s.to_json()).collect();
+    let repeat: Vec<String> = matrix.run(1).iter().map(|s| s.to_json()).collect();
+    let threaded: Vec<String> = matrix.run(3).iter().map(|s| s.to_json()).collect();
+    assert_eq!(first.len(), 8);
+    assert_eq!(first, repeat, "same seed, same thread count must repeat");
+    assert_eq!(first, threaded, "thread count must not leak into results");
+
+    // A different master seed must actually change the measurement (the
+    // workload streams really are derived from it).
+    let other = RunMatrix::new(matrix.params(), 0xBAD_5EED)
+        .benches(["bfs", "streamcluster"])
+        .engines([
+            EngineKind::None,
+            EngineKind::Counterless,
+            EngineKind::CounterMode,
+            EngineKind::CounterLight,
+        ])
+        .configs([("table1", SystemConfig::isca_table1())]);
+    let reseeded: Vec<String> = other.run(2).iter().map(|s| s.to_json()).collect();
+    assert_ne!(first, reseeded, "master seed must reach the workloads");
+}
+
+#[test]
+fn snapshot_json_survives_disk_round_trip() {
+    // What `clme matrix --out` writes, `clme diff` must read back
+    // verbatim — including the hex-encoded u64 seed.
+    use clme::core::engine::EngineKind;
+    use clme::sim::{compare, RunMatrix, StatsSnapshot, Tolerance};
+
+    let matrix = RunMatrix::new(
+        SimParams {
+            functional_warmup_accesses: 4_000,
+            warmup_per_core: 2_000,
+            measure_per_core: 5_000,
+        },
+        42,
+    )
+    .benches(["canneal"])
+    .engines([EngineKind::CounterLight])
+    .configs([("table1", SystemConfig::isca_table1())]);
+    let snapshots = matrix.run(1);
+    assert_eq!(snapshots.len(), 1);
+    let text = snapshots[0].to_json();
+    let back = StatsSnapshot::from_json(&text).expect("parse back");
+    assert_eq!(back, snapshots[0]);
+    assert_eq!(back.to_json(), text, "re-encoding must be byte-identical");
+    assert!(compare(&back, &snapshots[0], Tolerance::exact()).is_empty());
+}
+
+#[test]
 fn engine_results_differ_only_where_the_design_differs() {
     // None and counterless issue essentially identical DRAM traffic
     // (counterless adds latency, not accesses); tiny deviations come from
