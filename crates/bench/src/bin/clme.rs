@@ -17,15 +17,32 @@
 //!
 //! ```text
 //! clme matrix --tiny --out goldens/tiny     # run grid, write snapshots
+//! clme matrix --filter 'table1/counter-*'   # only matching cells
 //! clme diff --tiny --golden goldens/tiny    # re-run, diff vs goldens
 //! ```
+//!
+//! Profiling: one cell with the observability recorder installed —
+//! per-stage latency histograms, event counters, and throughput:
+//!
+//! ```text
+//! clme profile --engine counter-light --bench bfs [--json BENCH_profile.json]
+//! clme trace --engine counter-mode --bench mcf --out trace.json
+//! ```
+//!
+//! `trace` writes Chrome `trace_event` JSON — open it in Perfetto
+//! (<https://ui.perfetto.dev>) or `about:tracing`.
 //!
 //! See EXPERIMENTS.md for the snapshot format and the golden workflow.
 
 use clme_core::engine::EngineKind;
+use clme_obs::{Log2Histogram, Stage};
 use clme_sim::matrix::{all_engines, RunMatrix};
-use clme_sim::{compare, run_benchmark, SimParams, StatsSnapshot, Tolerance};
+use clme_sim::{
+    compare, run_benchmark, run_benchmark_recorded, SimParams, StatsSnapshot, Tolerance,
+};
 use clme_types::config::AesStrength;
+use clme_types::json::JsonValue;
+use clme_types::rng::SplitMix64;
 use clme_types::SystemConfig;
 use clme_workloads::suites;
 use std::path::{Path, PathBuf};
@@ -141,19 +158,25 @@ struct MatrixArgs {
     out: Option<PathBuf>,
     golden: Option<PathBuf>,
     tolerance: f64,
+    filter: Option<String>,
 }
 
 fn matrix_usage() -> ! {
     eprintln!(
         "usage: clme matrix [--tiny] [--threads N] [--seed HEX|DEC] [--out DIR]\n\
+         \x20                  [--filter GLOB]\n\
          \x20      clme diff   [--tiny] [--threads N] [--seed HEX|DEC] --golden DIR [--tol FRACTION]\n\
+         \x20                  [--filter GLOB]\n\
          \n\
          matrix runs the (workload x engine x config) grid in parallel and\n\
          prints one summary row per cell; --out also writes one stats-snapshot\n\
          JSON per cell. diff re-runs the same grid and compares each cell\n\
          against DIR/<config>__<engine>__<bench>.json with a tolerance band\n\
          (default 2% relative). --tiny selects the 12-cell smoke grid the\n\
-         checked-in goldens cover; the default grid is the paper's 72 cells."
+         checked-in goldens cover; the default grid is the paper's 72 cells.\n\
+         --filter keeps only cells whose config/engine/benchmark label\n\
+         matches GLOB (* and ? wildcards); cell results never change under\n\
+         filtering because workload seeds are label-keyed."
     );
     std::process::exit(2)
 }
@@ -169,6 +192,7 @@ fn parse_matrix_args(args: &[String]) -> MatrixArgs {
         out: None,
         golden: None,
         tolerance: 0.02,
+        filter: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -196,6 +220,7 @@ fn parse_matrix_args(args: &[String]) -> MatrixArgs {
             "--tol" => {
                 parsed.tolerance = value("--tol").parse().unwrap_or_else(|_| matrix_usage())
             }
+            "--filter" => parsed.filter = Some(value("--filter")),
             "--help" | "-h" => matrix_usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -210,18 +235,11 @@ fn parse_matrix_args(args: &[String]) -> MatrixArgs {
 /// (3 benchmarks x 4 engines x table1) or the full evaluation grid
 /// (9 irregular benchmarks x 4 engines x {table1, low-bw}).
 fn build_matrix(args: &MatrixArgs) -> RunMatrix {
-    if args.tiny {
-        RunMatrix::new(
-            SimParams {
-                functional_warmup_accesses: 20_000,
-                warmup_per_core: 10_000,
-                measure_per_core: 20_000,
-            },
-            args.seed,
-        )
-        .benches(["bfs", "canneal", "streamcluster"])
-        .engines(all_engines())
-        .configs([("table1".to_string(), SystemConfig::isca_table1())])
+    let matrix = if args.tiny {
+        RunMatrix::new(tiny_cell_params(), args.seed)
+            .benches(["bfs", "canneal", "streamcluster"])
+            .engines(all_engines())
+            .configs([("table1".to_string(), SystemConfig::isca_table1())])
     } else {
         RunMatrix::new(clme_bench::params_from_env(), args.seed)
             .benches(suites::IRREGULAR.iter().copied())
@@ -230,6 +248,20 @@ fn build_matrix(args: &MatrixArgs) -> RunMatrix {
                 ("table1".to_string(), SystemConfig::isca_table1()),
                 ("low-bw".to_string(), SystemConfig::low_bandwidth()),
             ])
+    };
+    match &args.filter {
+        Some(pattern) => matrix.filter(pattern.clone()),
+        None => matrix,
+    }
+}
+
+/// The window sizes of one `--tiny` matrix cell (shared with `profile`
+/// and `trace` so their default run matches a tiny cell exactly).
+fn tiny_cell_params() -> SimParams {
+    SimParams {
+        functional_warmup_accesses: 20_000,
+        warmup_per_core: 10_000,
+        measure_per_core: 20_000,
     }
 }
 
@@ -331,11 +363,260 @@ fn run_diff_command(args: &[String]) -> i32 {
     }
 }
 
+struct ProfileArgs {
+    engine: EngineKind,
+    bench: String,
+    low_bandwidth: bool,
+    seed: u64,
+    params: SimParams,
+    ring: usize,
+    json: Option<PathBuf>,
+    out: PathBuf,
+}
+
+fn profile_usage() -> ! {
+    eprintln!(
+        "usage: clme profile [--engine E] [--bench NAME] [--bandwidth high|low]\n\
+         \x20                   [--seed HEX|DEC] [--measure N] [--warmup N]\n\
+         \x20                   [--functional-warmup N] [--json PATH]\n\
+         \x20      clme trace   [same flags] [--out PATH] [--ring N]\n\
+         \n\
+         profile runs one cell with the observability recorder installed and\n\
+         prints a per-stage latency breakdown (engine / counter-fetch / dram /\n\
+         cache / rob-stall), the event counters, and cells/sec throughput;\n\
+         --json also writes those numbers as a JSON artifact. trace runs the\n\
+         same cell and writes the retained events as Chrome trace_event JSON\n\
+         (open in Perfetto or about:tracing). The default cell is\n\
+         table1/counter-light/bfs with the --tiny matrix windows, and the\n\
+         workload seed is label-derived exactly like a matrix cell's."
+    );
+    std::process::exit(2)
+}
+
+fn parse_profile_args(args: &[String]) -> ProfileArgs {
+    let mut parsed = ProfileArgs {
+        engine: EngineKind::CounterLight,
+        bench: "bfs".to_string(),
+        low_bandwidth: false,
+        seed: DEFAULT_MATRIX_SEED,
+        params: tiny_cell_params(),
+        ring: clme_obs::DEFAULT_RING_CAPACITY,
+        json: None,
+        out: PathBuf::from("trace.json"),
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                profile_usage()
+            })
+        };
+        match flag.as_str() {
+            "--engine" => {
+                parsed.engine = match value("--engine").as_str() {
+                    "none" => EngineKind::None,
+                    "counterless" => EngineKind::Counterless,
+                    "counter-mode" => EngineKind::CounterMode,
+                    "counter-light" => EngineKind::CounterLight,
+                    other => {
+                        eprintln!("unknown engine {other}");
+                        profile_usage()
+                    }
+                }
+            }
+            "--bench" => parsed.bench = value("--bench"),
+            "--bandwidth" => match value("--bandwidth").as_str() {
+                "high" => parsed.low_bandwidth = false,
+                "low" => parsed.low_bandwidth = true,
+                other => {
+                    eprintln!("unknown bandwidth {other}");
+                    profile_usage()
+                }
+            },
+            "--seed" => {
+                let text = value("--seed");
+                parsed.seed = if let Some(hex) = text.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).unwrap_or_else(|_| profile_usage())
+                } else {
+                    text.parse().unwrap_or_else(|_| profile_usage())
+                }
+            }
+            "--measure" => {
+                parsed.params.measure_per_core =
+                    value("--measure").parse().unwrap_or_else(|_| profile_usage())
+            }
+            "--warmup" => {
+                parsed.params.warmup_per_core =
+                    value("--warmup").parse().unwrap_or_else(|_| profile_usage())
+            }
+            "--functional-warmup" => {
+                parsed.params.functional_warmup_accesses =
+                    value("--functional-warmup").parse().unwrap_or_else(|_| profile_usage())
+            }
+            "--ring" => parsed.ring = value("--ring").parse().unwrap_or_else(|_| profile_usage()),
+            "--json" => parsed.json = Some(PathBuf::from(value("--json"))),
+            "--out" => parsed.out = PathBuf::from(value("--out")),
+            "--help" | "-h" => profile_usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                profile_usage()
+            }
+        }
+    }
+    parsed
+}
+
+/// Runs the selected cell with a recorder installed. Returns the label,
+/// the wall-clock seconds the cell took, and the run's outputs.
+fn run_profiled_cell(
+    args: &ProfileArgs,
+) -> (String, f64, clme_sim::SimResult, clme_obs::Recorder) {
+    let (config_name, cfg) = if args.low_bandwidth {
+        ("low-bw", SystemConfig::low_bandwidth())
+    } else {
+        ("table1", SystemConfig::isca_table1())
+    };
+    let label = format!("{}/{}/{}", config_name, args.engine, args.bench);
+    // The same label-keyed derivation the matrix uses, so a profiled cell
+    // replays the matching matrix cell exactly.
+    let seed = SplitMix64::new(args.seed).derive(label.as_bytes());
+    eprintln!("profiling {label} (workload seed {seed:#x})");
+    let started = std::time::Instant::now();
+    let (result, recorder) =
+        run_benchmark_recorded(&cfg, args.engine, &args.bench, args.params, seed, args.ring);
+    let wall = started.elapsed().as_secs_f64();
+    (label, wall, result, recorder)
+}
+
+fn ns(ps: f64) -> f64 {
+    ps / 1000.0
+}
+
+fn print_stage_table(recorder: &clme_obs::Recorder) {
+    println!("per-stage latency over the measured window (ns):");
+    println!(
+        "  {:<14} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "samples", "mean", "p50", "p95", "max"
+    );
+    for stage in Stage::ALL {
+        let hist: &Log2Histogram = recorder.stage(stage);
+        if hist.count() == 0 {
+            println!("  {:<14} {:>10} {:>43}", stage.name(), 0, "-");
+            continue;
+        }
+        println!(
+            "  {:<14} {:>10} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            stage.name(),
+            hist.count(),
+            ns(hist.mean_ps()),
+            ns(hist.percentile_ps(0.50) as f64),
+            ns(hist.percentile_ps(0.95) as f64),
+            ns(hist.max_ps() as f64),
+        );
+    }
+}
+
+fn profile_json(label: &str, wall: f64, result: &clme_sim::SimResult, rec: &clme_obs::Recorder) -> String {
+    let stages = Stage::ALL
+        .iter()
+        .map(|&stage| {
+            let hist = rec.stage(stage);
+            (
+                stage.name().to_string(),
+                JsonValue::Obj(vec![
+                    ("samples".into(), JsonValue::Num(hist.count() as f64)),
+                    ("mean_ns".into(), JsonValue::Num(ns(hist.mean_ps()))),
+                    ("p50_ns".into(), JsonValue::Num(ns(hist.percentile_ps(0.50) as f64))),
+                    ("p95_ns".into(), JsonValue::Num(ns(hist.percentile_ps(0.95) as f64))),
+                    ("max_ns".into(), JsonValue::Num(ns(hist.max_ps() as f64))),
+                ]),
+            )
+        })
+        .collect();
+    let counters = rec
+        .counters()
+        .nonzero()
+        .map(|(kind, count)| (kind.name().to_string(), JsonValue::Num(count as f64)))
+        .collect();
+    let doc = JsonValue::Obj(vec![
+        ("label".into(), JsonValue::Str(label.to_string())),
+        ("instructions".into(), JsonValue::Num(result.instructions as f64)),
+        ("ipc".into(), JsonValue::Num(result.ipc)),
+        ("wall_seconds".into(), JsonValue::Num(wall)),
+        ("cells_per_sec".into(), JsonValue::Num(1.0 / wall.max(1e-9))),
+        ("stages".into(), JsonValue::Obj(stages)),
+        ("counters".into(), JsonValue::Obj(counters)),
+    ]);
+    let mut text = doc.to_pretty();
+    text.push('\n');
+    text
+}
+
+fn run_profile_command(args: &[String]) -> i32 {
+    let args = parse_profile_args(args);
+    let (label, wall, result, recorder) = run_profiled_cell(&args);
+    println!("{result}\n");
+    print_stage_table(&recorder);
+    println!("\nevent counters (measured window):");
+    let mut any = false;
+    for (kind, count) in recorder.counters().nonzero() {
+        println!("  {:<24} {count}", kind.name());
+        any = true;
+    }
+    if !any {
+        println!("  (none)");
+    }
+    println!(
+        "\nthroughput: {:.3} cells/sec ({:.2} s wall for {label})",
+        1.0 / wall.max(1e-9),
+        wall
+    );
+    if let Some(path) = &args.json {
+        let artifact = profile_json(&label, wall, &result, &recorder);
+        if let Err(err) = std::fs::write(path, artifact) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return 1;
+        }
+        eprintln!("wrote profile artifact to {}", path.display());
+    }
+    0
+}
+
+fn run_trace_command(args: &[String]) -> i32 {
+    let args = parse_profile_args(args);
+    let (label, wall, _result, recorder) = run_profiled_cell(&args);
+    let ring = recorder.ring();
+    if ring.dropped() > 0 {
+        eprintln!(
+            "ring overflowed: kept the latest {} events, dropped {} older ones \
+             (raise --ring to keep more)",
+            ring.len(),
+            ring.dropped()
+        );
+    }
+    let trace = recorder.chrome_trace();
+    if let Err(err) = std::fs::write(&args.out, trace) {
+        eprintln!("cannot write {}: {err}", args.out.display());
+        return 1;
+    }
+    println!(
+        "wrote {} trace events for {label} to {} ({:.2} s wall) — open in \
+         Perfetto (https://ui.perfetto.dev) or chrome://tracing",
+        ring.len(),
+        args.out.display(),
+        wall
+    );
+    0
+}
+
 fn main() {
     let all: Vec<String> = std::env::args().skip(1).collect();
     match all.first().map(String::as_str) {
         Some("matrix") => std::process::exit(run_matrix_command(&all[1..])),
         Some("diff") => std::process::exit(run_diff_command(&all[1..])),
+        Some("profile") => std::process::exit(run_profile_command(&all[1..])),
+        Some("trace") => std::process::exit(run_trace_command(&all[1..])),
         _ => {}
     }
     let args = parse_args();

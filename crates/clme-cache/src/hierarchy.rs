@@ -15,8 +15,10 @@
 
 use crate::prefetch::{NextLinePrefetcher, PrefetchThrottle, StridePrefetcher};
 use crate::set_assoc::SetAssocCache;
+use clme_obs::{Component, EventKind, NopSink, TraceSink};
 use clme_types::config::SystemConfig;
 use clme_types::stats::Ratio;
+use clme_types::{Time, TimeDelta};
 
 /// Which level satisfied a demand access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -87,6 +89,11 @@ pub struct MemorySystemCaches {
 /// suite still shows a 3.4% counterless overhead in Fig. 23).
 const PREFETCH_TIMELINESS: f64 = 0.85;
 
+/// Fixed seed for the timeliness draw stream; reseeded by
+/// [`MemorySystemCaches::reset_full`] so arena-reused hierarchies replay
+/// the same draws as fresh ones.
+const TIMELINESS_SEED: u64 = 0x7F7F_1CE5;
+
 impl MemorySystemCaches {
     /// Builds the hierarchy from a [`SystemConfig`].
     pub fn new(cfg: &SystemConfig) -> MemorySystemCaches {
@@ -104,7 +111,7 @@ impl MemorySystemCaches {
             cores,
             llc: SetAssocCache::with_capacity(cfg.llc.capacity_bytes, cfg.llc.ways),
             llc_demand: Ratio::new(),
-            timeliness: clme_types::rng::Xoshiro256::seed_from(0x7F7F_1CE5),
+            timeliness: clme_types::rng::Xoshiro256::seed_from(TIMELINESS_SEED),
         }
     }
 
@@ -114,6 +121,24 @@ impl MemorySystemCaches {
     ///
     /// Panics if `core` is out of range.
     pub fn access(&mut self, core: usize, block: u64, write: bool) -> CacheAccessResult {
+        self.access_obs(core, block, write, Time::ZERO, &mut NopSink)
+    }
+
+    /// [`MemorySystemCaches::access`] with an observability sink: reports
+    /// the serving level (L1/L2 hits as counters; LLC hits and misses as
+    /// trace events stamped `at`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access_obs(
+        &mut self,
+        core: usize,
+        block: u64,
+        write: bool,
+        at: Time,
+        obs: &mut dyn TraceSink,
+    ) -> CacheAccessResult {
         let mut result = CacheAccessResult::default();
 
         // Train prefetchers on every demand access; collect suggestions.
@@ -127,6 +152,18 @@ impl MemorySystemCaches {
 
         let level = self.demand_path(core, block, write, &mut result);
         result.level = Some(level);
+        if obs.enabled() {
+            match level {
+                HitLevel::L1 => obs.count(EventKind::L1Hit),
+                HitLevel::L2 => obs.count(EventKind::L2Hit),
+                HitLevel::Llc => {
+                    obs.event(at, Component::Cache, EventKind::LlcHit, block, TimeDelta::ZERO)
+                }
+                HitLevel::Memory => {
+                    obs.event(at, Component::Cache, EventKind::LlcMiss, block, TimeDelta::ZERO)
+                }
+            }
+        }
 
         // Next-line prefetch fires on L2 misses (the L1 next-line
         // prefetcher's useful work is covered by the L1 stride prefetcher;
@@ -242,6 +279,24 @@ impl MemorySystemCaches {
             cc.l1.reset_stats();
             cc.l2.reset_stats();
         }
+    }
+
+    /// Returns the whole hierarchy — contents, prefetcher training,
+    /// throttle state, statistics, and the timeliness RNG — to its exact
+    /// just-constructed state while keeping every allocation. Used by the
+    /// run-matrix arena so a worker can reuse one hierarchy across cells
+    /// with bit-identical results.
+    pub fn reset_full(&mut self) {
+        for cc in &mut self.cores {
+            cc.l1.clear();
+            cc.l2.clear();
+            cc.stride_l1.reset();
+            cc.stride_l2.reset();
+            cc.throttle.reset();
+        }
+        self.llc.clear();
+        self.llc_demand = Ratio::new();
+        self.timeliness = clme_types::rng::Xoshiro256::seed_from(TIMELINESS_SEED);
     }
 }
 
@@ -378,6 +433,56 @@ mod tests {
         caches.reset_stats();
         assert_eq!(caches.llc_demand_hit_ratio().total(), 0);
         assert_eq!(caches.access(0, 9, false).level, Some(HitLevel::L1));
+    }
+
+    #[test]
+    fn reset_full_replays_like_fresh() {
+        // Heavy mixed traffic (prefetchers training, throttle filling,
+        // timeliness RNG advancing), then reset_full: the hierarchy must
+        // be indistinguishable from a fresh one on a shared replay.
+        let cfg = small_config();
+        let mut used = MemorySystemCaches::new(&cfg);
+        let mut rng = clme_types::rng::Xoshiro256::seed_from(11);
+        for _ in 0..5_000 {
+            let core = rng.below(2) as usize;
+            used.access(core, rng.below(1 << 16), rng.chance(0.3));
+        }
+        used.reset_full();
+        let mut fresh = MemorySystemCaches::new(&cfg);
+        let mut replay = clme_types::rng::Xoshiro256::seed_from(77);
+        for step in 0..5_000 {
+            let core = replay.below(2) as usize;
+            let block = replay.below(1 << 14);
+            let write = replay.chance(0.4);
+            assert_eq!(
+                used.access(core, block, write),
+                fresh.access(core, block, write),
+                "divergence at step {step}"
+            );
+        }
+        assert_eq!(
+            used.llc_demand_hit_ratio().total(),
+            fresh.llc_demand_hit_ratio().total()
+        );
+        assert_eq!(
+            used.llc_demand_hit_ratio().hits(),
+            fresh.llc_demand_hit_ratio().hits()
+        );
+    }
+
+    #[test]
+    fn access_obs_counts_levels() {
+        use clme_obs::Recorder;
+
+        let mut caches = MemorySystemCaches::new(&no_prefetch(small_config()));
+        let mut rec = Recorder::new();
+        caches.access_obs(0, 100, false, Time::ZERO, &mut rec); // memory
+        caches.access_obs(0, 100, false, Time::ZERO, &mut rec); // L1
+        caches.access_obs(1, 100, false, Time::ZERO, &mut rec); // LLC (other core)
+        assert_eq!(rec.counters().get(EventKind::LlcMiss), 1);
+        assert_eq!(rec.counters().get(EventKind::L1Hit), 1);
+        assert_eq!(rec.counters().get(EventKind::LlcHit), 1);
+        assert_eq!(rec.ring().len(), 2, "only LLC-level outcomes take ring slots");
     }
 }
 

@@ -110,6 +110,14 @@ impl StridePrefetcher {
             Vec::new()
         }
     }
+
+    /// Forgets all training state, returning the table to its
+    /// just-constructed contents (run-matrix arena reuse).
+    pub fn reset(&mut self) {
+        for entry in &mut self.table {
+            *entry = StrideEntry::default();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +261,15 @@ impl PrefetchThrottle {
         } else {
             false
         }
+    }
+
+    /// Forgets all accuracy state, reopening the throttle as when
+    /// constructed (run-matrix arena reuse).
+    pub fn reset(&mut self) {
+        self.outstanding.clear();
+        self.order.clear();
+        self.issued = 0;
+        self.useful = 0;
     }
 }
 

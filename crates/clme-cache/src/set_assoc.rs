@@ -168,6 +168,24 @@ impl SetAssocCache {
     pub fn reset_stats(&mut self) {
         self.hits = Ratio::new();
     }
+
+    /// Invalidates every line and resets recency and statistics, keeping
+    /// the allocation — returns the cache to its just-constructed state
+    /// (run-matrix arena reuse).
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                *line = Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    last_use: 0,
+                };
+            }
+        }
+        self.tick = 0;
+        self.hits = Ratio::new();
+    }
 }
 
 #[cfg(test)]
@@ -289,5 +307,23 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_panics() {
         let _ = SetAssocCache::new(3, 1);
+    }
+
+    #[test]
+    fn clear_restores_constructed_state() {
+        let mut c = SetAssocCache::new(2, 2);
+        c.fill(1, true);
+        c.fill(3, false);
+        c.access(1, false);
+        c.clear();
+        assert!(!c.probe(1));
+        assert!(!c.probe(3));
+        assert_eq!(c.hit_ratio().total(), 0);
+        // Replay against a fresh cache: eviction order must match, which
+        // pins the recency counter reset.
+        let mut fresh = SetAssocCache::new(2, 2);
+        for b in [0u64, 2, 4, 6, 0, 8] {
+            assert_eq!(c.fill(b, false), fresh.fill(b, false));
+        }
     }
 }

@@ -28,6 +28,7 @@ use clme_counters::memo::MemoTable;
 use clme_dram::mapping::AddressMapping;
 use clme_dram::timing::{AccessKind, Dram};
 use clme_ecc::encmeta::MAX_COUNTER;
+use clme_obs::{Component, EventKind, Stage, TraceSink};
 use clme_types::config::SystemConfig;
 use clme_types::{BlockAddr, Time, TimeDelta};
 use std::collections::{HashMap, HashSet};
@@ -150,8 +151,14 @@ impl EncryptionEngine for CounterLightEngine {
         EngineKind::CounterLight
     }
 
-    fn on_read_miss(&mut self, block: BlockAddr, issue: Time, dram: &mut Dram) -> ReadMissOutcome {
-        let data = dram.access(block, AccessKind::Read, issue);
+    fn on_read_miss_obs(
+        &mut self,
+        block: BlockAddr,
+        issue: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> ReadMissOutcome {
+        let data = dram.access_obs(block, AccessKind::Read, issue, obs);
         self.epoch.observe_access(issue);
         // EncryptionMetadata decodes from the parity once half the block
         // (including the parity lane) has arrived.
@@ -159,11 +166,13 @@ impl EncryptionEngine for CounterLightEngine {
         let (cipher_done, counter_known) = if self.is_counterless(block) {
             // Counterless-mode block: data-dependent AES after arrival,
             // exactly like counterless encryption.
+            obs.count(EventKind::PadAes);
             (data.arrival + self.aes, None)
         } else {
             self.stats.reads_in_counter_mode += 1;
             let counter = self.counter_of(block);
-            let pad_latency = if self.memo.lookup(counter).is_some() {
+            let memo_hit = self.memo.lookup(counter).is_some();
+            let pad_latency = if memo_hit {
                 self.memo_combine
             } else {
                 // Memo miss: compute AES from the in-ECC counter, which is
@@ -173,12 +182,22 @@ impl EncryptionEngine for CounterLightEngine {
             self.stats.memo = self.memo.hit_ratio();
             let skew = meta_known.picos() as i64 - data.arrival.picos() as i64;
             self.stats.counter_skew.add(skew);
+            if obs.enabled() {
+                obs.count(if memo_hit { EventKind::PadMemoized } else { EventKind::PadAes });
+                // The in-ECC "fetch" completes at the half-block point.
+                obs.latency(Stage::CounterFetch, meta_known.saturating_since(issue));
+            }
             (meta_known + pad_latency, Some(meta_known))
         };
         let ready = cipher_done.max(data.arrival) + self.ecc_check;
         self.stats.read_misses += 1;
         self.stats.total_read_latency += ready - issue;
         self.stats.total_stall_after_data += ready - data.arrival;
+        if obs.enabled() {
+            obs.count(EventKind::MacVerify);
+            obs.event(issue, Component::Engine, EventKind::ReadMiss, block.raw(), ready - issue);
+            obs.latency(Stage::Engine, ready - data.arrival);
+        }
         ReadMissOutcome {
             data_arrival: data.arrival,
             ready,
@@ -186,15 +205,28 @@ impl EncryptionEngine for CounterLightEngine {
         }
     }
 
-    fn on_prefetch_fill(&mut self, block: BlockAddr, issue: Time, dram: &mut Dram) -> Time {
+    fn on_prefetch_fill_obs(
+        &mut self,
+        block: BlockAddr,
+        issue: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> Time {
         self.stats.prefetch_fills += 1;
+        obs.count(EventKind::PrefetchFill);
         self.epoch.observe_access(issue);
         // Everything needed for decryption rides inside the block.
-        dram.background_access(block, AccessKind::Read, issue)
+        dram.background_access_obs(block, AccessKind::Read, issue, obs)
     }
 
-    fn on_writeback(&mut self, block: BlockAddr, now: Time, dram: &mut Dram) -> WritebackOutcome {
-        let data_done = dram.background_access(block, AccessKind::Write, now);
+    fn on_writeback_obs(
+        &mut self,
+        block: BlockAddr,
+        now: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> WritebackOutcome {
+        let data_done = dram.background_access_obs(block, AccessKind::Write, now, obs);
         self.epoch.observe_access(now);
         self.stats.writebacks += 1;
 
@@ -238,9 +270,18 @@ impl EncryptionEngine for CounterLightEngine {
                     self.observe_n(now, update.dram_reads + update.dram_writes);
                     completion = completion.max(update.available);
                     self.stats.counter_mode_writebacks += 1;
+                    self.stats.counter_cache = self.metadata.cache_hit_ratio();
                     used_counter_mode = true;
                 }
             }
+        }
+        if obs.enabled() {
+            obs.count(EventKind::Writeback);
+            obs.count(if used_counter_mode {
+                EventKind::WritebackCounterMode
+            } else {
+                EventKind::WritebackCounterless
+            });
         }
         WritebackOutcome {
             used_counter_mode,

@@ -16,6 +16,7 @@ use crate::metadata::MetadataTraffic;
 use crate::stats::EngineStats;
 use clme_counters::memo::MemoTable;
 use clme_dram::timing::{AccessKind, Dram};
+use clme_obs::{Component, EventKind, Stage, TraceSink};
 use clme_types::config::SystemConfig;
 use clme_types::{BlockAddr, Time, TimeDelta};
 use std::collections::HashMap;
@@ -125,12 +126,19 @@ impl EncryptionEngine for CounterModeEngine {
         EngineKind::CounterMode
     }
 
-    fn on_read_miss(&mut self, block: BlockAddr, issue: Time, dram: &mut Dram) -> ReadMissOutcome {
-        let data = dram.access(block, AccessKind::Read, issue);
+    fn on_read_miss_obs(
+        &mut self,
+        block: BlockAddr,
+        issue: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> ReadMissOutcome {
+        let data = dram.access_obs(block, AccessKind::Read, issue, obs);
         let mut counter_known = None;
         let mut ready = data.arrival + self.ecc_check;
         let protected = block.raw() < self.metadata.layout().data_blocks();
         if self.mode_cfg.fetch_counters_on_read && protected {
+            obs.count(EventKind::CounterFetchStart);
             let fetch = self.metadata.counter_for_read(
                 block,
                 issue,
@@ -146,6 +154,8 @@ impl EncryptionEngine for CounterModeEngine {
                     self.stats.metadata_reads += verify.dram_reads;
                     self.stats.metadata_writes += verify.dram_writes;
                 }
+            } else {
+                obs.count(EventKind::CounterCacheHit);
             }
             counter_known = Some(fetch.available);
             // Fig. 8: counter arrival minus data arrival, over all misses.
@@ -153,19 +163,29 @@ impl EncryptionEngine for CounterModeEngine {
             self.stats.counter_skew.add(skew);
             // Pad generation starts when the counter value is known.
             let counter = self.counter_of(block);
-            let pad_latency = if self.memo.lookup(counter).is_some() {
-                self.memo_combine
-            } else {
-                self.aes
-            };
+            let memo_hit = self.memo.lookup(counter).is_some();
+            let pad_latency = if memo_hit { self.memo_combine } else { self.aes };
             self.stats.memo = self.memo.hit_ratio();
             let pad_done = fetch.available + pad_latency;
             ready = pad_done.max(data.arrival) + self.ecc_check;
+            if obs.enabled() {
+                if fetch.available > data.arrival {
+                    obs.count(EventKind::CounterLate);
+                }
+                obs.count(if memo_hit { EventKind::PadMemoized } else { EventKind::PadAes });
+                obs.latency(Stage::CounterFetch, fetch.available.saturating_since(issue));
+            }
+            self.stats.counter_cache = self.metadata.cache_hit_ratio();
         }
         self.stats.read_misses += 1;
         self.stats.reads_in_counter_mode += 1;
         self.stats.total_read_latency += ready - issue;
         self.stats.total_stall_after_data += ready.saturating_since(data.arrival);
+        if obs.enabled() {
+            obs.count(EventKind::MacVerify);
+            obs.event(issue, Component::Engine, EventKind::ReadMiss, block.raw(), ready - issue);
+            obs.latency(Stage::Engine, ready.saturating_since(data.arrival));
+        }
         ReadMissOutcome {
             data_arrival: data.arrival,
             ready,
@@ -173,9 +193,16 @@ impl EncryptionEngine for CounterModeEngine {
         }
     }
 
-    fn on_prefetch_fill(&mut self, block: BlockAddr, issue: Time, dram: &mut Dram) -> Time {
+    fn on_prefetch_fill_obs(
+        &mut self,
+        block: BlockAddr,
+        issue: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> Time {
         self.stats.prefetch_fills += 1;
-        let arrival = dram.background_access(block, AccessKind::Read, issue);
+        obs.count(EventKind::PrefetchFill);
+        let arrival = dram.background_access_obs(block, AccessKind::Read, issue, obs);
         if self.mode_cfg.fetch_counters_on_read && block.raw() < self.metadata.layout().data_blocks()
         {
             let fetch = self.metadata.counter_for_read(
@@ -186,12 +213,19 @@ impl EncryptionEngine for CounterModeEngine {
             );
             self.stats.metadata_reads += fetch.dram_reads;
             self.stats.metadata_writes += fetch.dram_writes;
+            self.stats.counter_cache = self.metadata.cache_hit_ratio();
         }
         arrival
     }
 
-    fn on_writeback(&mut self, block: BlockAddr, now: Time, dram: &mut Dram) -> WritebackOutcome {
-        let data_done = dram.background_access(block, AccessKind::Write, now);
+    fn on_writeback_obs(
+        &mut self,
+        block: BlockAddr,
+        now: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> WritebackOutcome {
+        let data_done = dram.background_access_obs(block, AccessKind::Write, now, obs);
         let mut completion = data_done;
         if self.mode_cfg.writeback_metadata && block.raw() < self.metadata.layout().data_blocks() {
             let update =
@@ -200,6 +234,7 @@ impl EncryptionEngine for CounterModeEngine {
             self.stats.metadata_reads += update.dram_reads;
             self.stats.metadata_writes += update.dram_writes;
             completion = completion.max(update.available);
+            self.stats.counter_cache = self.metadata.cache_hit_ratio();
         }
         // RMCC counter-advance policy: jump to the next memoized value.
         let current = self.counter_of(block);
@@ -210,6 +245,10 @@ impl EncryptionEngine for CounterModeEngine {
         self.counters.insert(block.raw(), next);
         self.stats.writebacks += 1;
         self.stats.counter_mode_writebacks += 1;
+        if obs.enabled() {
+            obs.count(EventKind::Writeback);
+            obs.count(EventKind::WritebackCounterMode);
+        }
         WritebackOutcome {
             used_counter_mode: true,
             completion,

@@ -9,6 +9,7 @@
 use crate::engine::{EncryptionEngine, EngineKind, ReadMissOutcome, WritebackOutcome};
 use crate::stats::EngineStats;
 use clme_dram::timing::{AccessKind, Dram};
+use clme_obs::{Component, EventKind, Stage, TraceSink};
 use clme_types::config::SystemConfig;
 use clme_types::{BlockAddr, Time, TimeDelta};
 
@@ -52,8 +53,14 @@ impl EncryptionEngine for CounterlessEngine {
         EngineKind::Counterless
     }
 
-    fn on_read_miss(&mut self, block: BlockAddr, issue: Time, dram: &mut Dram) -> ReadMissOutcome {
-        let access = dram.access(block, AccessKind::Read, issue);
+    fn on_read_miss_obs(
+        &mut self,
+        block: BlockAddr,
+        issue: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> ReadMissOutcome {
+        let access = dram.access_obs(block, AccessKind::Read, issue, obs);
         // The data-dependent AES starts at arrival; the MAC/ECC check
         // completes after it.
         let cipher_done = access.arrival + self.aes;
@@ -61,6 +68,12 @@ impl EncryptionEngine for CounterlessEngine {
         self.stats.read_misses += 1;
         self.stats.total_read_latency += ready - issue;
         self.stats.total_stall_after_data += ready - access.arrival;
+        if obs.enabled() {
+            obs.count(EventKind::PadAes);
+            obs.count(EventKind::MacVerify);
+            obs.event(issue, Component::Engine, EventKind::ReadMiss, block.raw(), ready - issue);
+            obs.latency(Stage::Engine, ready - access.arrival);
+        }
         ReadMissOutcome {
             data_arrival: access.arrival,
             ready,
@@ -68,17 +81,34 @@ impl EncryptionEngine for CounterlessEngine {
         }
     }
 
-    fn on_prefetch_fill(&mut self, block: BlockAddr, issue: Time, dram: &mut Dram) -> Time {
+    fn on_prefetch_fill_obs(
+        &mut self,
+        block: BlockAddr,
+        issue: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> Time {
         self.stats.prefetch_fills += 1;
+        obs.count(EventKind::PrefetchFill);
         // Decryption happens off the critical path; only the transfer
         // matters for timing.
-        dram.background_access(block, AccessKind::Read, issue)
+        dram.background_access_obs(block, AccessKind::Read, issue, obs)
     }
 
-    fn on_writeback(&mut self, block: BlockAddr, now: Time, dram: &mut Dram) -> WritebackOutcome {
-        let completion = dram.background_access(block, AccessKind::Write, now);
+    fn on_writeback_obs(
+        &mut self,
+        block: BlockAddr,
+        now: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> WritebackOutcome {
+        let completion = dram.background_access_obs(block, AccessKind::Write, now, obs);
         self.stats.writebacks += 1;
         self.stats.counterless_writebacks += 1;
+        if obs.enabled() {
+            obs.count(EventKind::Writeback);
+            obs.count(EventKind::WritebackCounterless);
+        }
         WritebackOutcome {
             used_counter_mode: false,
             completion,

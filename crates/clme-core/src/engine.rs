@@ -10,6 +10,7 @@
 
 use crate::stats::EngineStats;
 use clme_dram::timing::Dram;
+use clme_obs::{NopSink, TraceSink};
 use clme_types::{BlockAddr, Time};
 
 /// Which design an engine implements (Fig. 1's three rows, plus the
@@ -63,6 +64,10 @@ pub struct WritebackOutcome {
 
 /// A memory-encryption engine: the timing twin of the functional model in
 /// [`crate::functional`].
+///
+/// Engines implement the `_obs` methods, which receive a
+/// [`TraceSink`]; the plain methods are provided wrappers that pass the
+/// no-op sink, so un-instrumented callers keep their exact behaviour.
 pub trait EncryptionEngine {
     /// Which design this is.
     fn kind(&self) -> EngineKind;
@@ -71,15 +76,51 @@ pub trait EncryptionEngine {
     /// LLC lookup completed and the request reached the memory
     /// controller). The engine issues the data DRAM read and any metadata
     /// reads and returns the resolved timing.
-    fn on_read_miss(&mut self, block: BlockAddr, issue: Time, dram: &mut Dram) -> ReadMissOutcome;
+    fn on_read_miss(&mut self, block: BlockAddr, issue: Time, dram: &mut Dram) -> ReadMissOutcome {
+        self.on_read_miss_obs(block, issue, dram, &mut NopSink)
+    }
+
+    /// [`EncryptionEngine::on_read_miss`] with an observability sink:
+    /// engines report counter fetches (start/hit/late), pad generation,
+    /// and integrity verification through it.
+    fn on_read_miss_obs(
+        &mut self,
+        block: BlockAddr,
+        issue: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> ReadMissOutcome;
 
     /// Serves a prefetch fill: the data read (plus any metadata the
     /// engine's design needs for decryption) is issued, but the latency is
     /// off the critical path. Returns the data arrival time.
-    fn on_prefetch_fill(&mut self, block: BlockAddr, issue: Time, dram: &mut Dram) -> Time;
+    fn on_prefetch_fill(&mut self, block: BlockAddr, issue: Time, dram: &mut Dram) -> Time {
+        self.on_prefetch_fill_obs(block, issue, dram, &mut NopSink)
+    }
+
+    /// [`EncryptionEngine::on_prefetch_fill`] with an observability sink.
+    fn on_prefetch_fill_obs(
+        &mut self,
+        block: BlockAddr,
+        issue: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> Time;
 
     /// Serves an LLC writeback arriving at the controller at `now`.
-    fn on_writeback(&mut self, block: BlockAddr, now: Time, dram: &mut Dram) -> WritebackOutcome;
+    fn on_writeback(&mut self, block: BlockAddr, now: Time, dram: &mut Dram) -> WritebackOutcome {
+        self.on_writeback_obs(block, now, dram, &mut NopSink)
+    }
+
+    /// [`EncryptionEngine::on_writeback`] with an observability sink:
+    /// engines report the chosen writeback mode through it.
+    fn on_writeback_obs(
+        &mut self,
+        block: BlockAddr,
+        now: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> WritebackOutcome;
 
     /// Accumulated statistics.
     fn stats(&self) -> &EngineStats;

@@ -6,6 +6,7 @@
 use crate::engine::{EncryptionEngine, EngineKind, ReadMissOutcome, WritebackOutcome};
 use crate::stats::EngineStats;
 use clme_dram::timing::{AccessKind, Dram};
+use clme_obs::{Component, EventKind, Stage, TraceSink};
 use clme_types::config::SystemConfig;
 use clme_types::{BlockAddr, Time, TimeDelta};
 
@@ -46,12 +47,23 @@ impl EncryptionEngine for NoEncryptionEngine {
         EngineKind::None
     }
 
-    fn on_read_miss(&mut self, block: BlockAddr, issue: Time, dram: &mut Dram) -> ReadMissOutcome {
-        let access = dram.access(block, AccessKind::Read, issue);
+    fn on_read_miss_obs(
+        &mut self,
+        block: BlockAddr,
+        issue: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> ReadMissOutcome {
+        let access = dram.access_obs(block, AccessKind::Read, issue, obs);
         let ready = access.arrival + self.ecc_check;
         self.stats.read_misses += 1;
         self.stats.total_read_latency += ready - issue;
         self.stats.total_stall_after_data += ready - access.arrival;
+        if obs.enabled() {
+            obs.count(EventKind::MacVerify);
+            obs.event(issue, Component::Engine, EventKind::ReadMiss, block.raw(), ready - issue);
+            obs.latency(Stage::Engine, ready - access.arrival);
+        }
         ReadMissOutcome {
             data_arrival: access.arrival,
             ready,
@@ -59,14 +71,28 @@ impl EncryptionEngine for NoEncryptionEngine {
         }
     }
 
-    fn on_prefetch_fill(&mut self, block: BlockAddr, issue: Time, dram: &mut Dram) -> Time {
+    fn on_prefetch_fill_obs(
+        &mut self,
+        block: BlockAddr,
+        issue: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> Time {
         self.stats.prefetch_fills += 1;
-        dram.background_access(block, AccessKind::Read, issue)
+        obs.count(EventKind::PrefetchFill);
+        dram.background_access_obs(block, AccessKind::Read, issue, obs)
     }
 
-    fn on_writeback(&mut self, block: BlockAddr, now: Time, dram: &mut Dram) -> WritebackOutcome {
-        let completion = dram.background_access(block, AccessKind::Write, now);
+    fn on_writeback_obs(
+        &mut self,
+        block: BlockAddr,
+        now: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> WritebackOutcome {
+        let completion = dram.background_access_obs(block, AccessKind::Write, now, obs);
         self.stats.writebacks += 1;
+        obs.count(EventKind::Writeback);
         WritebackOutcome {
             used_counter_mode: false,
             completion,

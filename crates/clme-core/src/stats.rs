@@ -38,7 +38,27 @@ pub struct EngineStats {
     /// over *all* read misses (paper Fig. 8); misses with no DRAM counter
     /// fetch contribute large negative values (counter known early).
     pub counter_skew: Histogram,
+    /// Counter-cache hit ratio (always zero for engines without a counter
+    /// cache, so the shared export schema stays engine-independent).
+    pub counter_cache: Ratio,
 }
+
+/// Stable export names for the 12 Fig. 8 skew buckets (−30 ns … +30 ns in
+/// 5 ns steps, matching the histogram geometry in [`EngineStats::new`]).
+const SKEW_BUCKET_NAMES: [&str; 12] = [
+    "counter_skew.m30_m25ns",
+    "counter_skew.m25_m20ns",
+    "counter_skew.m20_m15ns",
+    "counter_skew.m15_m10ns",
+    "counter_skew.m10_m05ns",
+    "counter_skew.m05_p00ns",
+    "counter_skew.p00_p05ns",
+    "counter_skew.p05_p10ns",
+    "counter_skew.p10_p15ns",
+    "counter_skew.p15_p20ns",
+    "counter_skew.p20_p25ns",
+    "counter_skew.p25_p30ns",
+];
 
 impl EngineStats {
     /// Creates zeroed statistics. The skew histogram uses the paper's
@@ -58,6 +78,7 @@ impl EngineStats {
             total_read_latency: TimeDelta::ZERO,
             total_stall_after_data: TimeDelta::ZERO,
             counter_skew: Histogram::new(-30_000, 5_000, 12),
+            counter_cache: Ratio::new(),
         }
     }
 
@@ -101,7 +122,7 @@ impl EngineStats {
     /// layer. All four engines share this schema, so snapshots of
     /// different engines are directly diffable field-by-field.
     pub fn export(&self) -> Vec<(&'static str, f64)> {
-        vec![
+        let mut fields = vec![
             ("read_misses", self.read_misses as f64),
             ("writebacks", self.writebacks as f64),
             ("prefetch_fills", self.prefetch_fills as f64),
@@ -117,8 +138,19 @@ impl EngineStats {
             ("reads_in_counter_mode", self.reads_in_counter_mode as f64),
             ("mean_read_latency_ns", self.mean_read_latency().as_ns_f64()),
             ("mean_stall_after_data_ns", self.mean_stall_after_data().as_ns_f64()),
-            ("counter_late_fraction", self.counter_late_fraction()),
-        ]
+            ("counter_cache_hits", self.counter_cache.hits() as f64),
+            ("counter_cache_lookups", self.counter_cache.total() as f64),
+            ("counter_cache_hit_rate", self.counter_cache.rate()),
+        ];
+        // The Fig. 8 skew distribution, folded bucket-by-bucket so golden
+        // diffs catch shifts the scalar late-fraction would average away.
+        fields.push(("counter_skew.below_m30ns", self.counter_skew.underflow() as f64));
+        for (i, name) in SKEW_BUCKET_NAMES.iter().enumerate() {
+            fields.push((name, self.counter_skew.bucket_count(i) as f64));
+        }
+        fields.push(("counter_skew.above_p30ns", self.counter_skew.overflow() as f64));
+        fields.push(("counter_late_fraction", self.counter_late_fraction()));
+        fields
     }
 }
 
@@ -210,6 +242,26 @@ mod tests {
         assert_eq!(get("read_misses"), 4.0);
         assert_eq!(get("mean_read_latency_ns"), 25.0);
         assert!((get("counterless_writeback_fraction") - 0.75).abs() < 1e-12);
+        assert_eq!(get("counter_cache_lookups"), 0.0);
+    }
+
+    #[test]
+    fn export_folds_skew_buckets() {
+        let mut s = EngineStats::new();
+        s.counter_skew.add(-40_000); // underflow
+        s.counter_skew.add(-29_000); // first bucket
+        s.counter_skew.add(2_000); // [0, 5) ns
+        s.counter_skew.add(99_000); // overflow
+        s.counter_cache.add(3, 4);
+        let fields = s.export();
+        let get = |name: &str| fields.iter().find(|&&(n, _)| n == name).unwrap().1;
+        assert_eq!(get("counter_skew.below_m30ns"), 1.0);
+        assert_eq!(get("counter_skew.m30_m25ns"), 1.0);
+        assert_eq!(get("counter_skew.p00_p05ns"), 1.0);
+        assert_eq!(get("counter_skew.above_p30ns"), 1.0);
+        assert_eq!(get("counter_skew.m05_p00ns"), 0.0);
+        assert_eq!(get("counter_cache_hits"), 3.0);
+        assert!((get("counter_cache_hit_rate") - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 use crate::mapping::{AddressMapping, DramCoord};
 use crate::stats::BandwidthTracker;
+use clme_obs::{Component, EventKind, NopSink, Stage, TraceSink};
 use clme_types::config::SystemConfig;
 use clme_types::{BlockAddr, Time, TimeDelta};
 
@@ -125,6 +126,13 @@ impl Reservations {
         }
     }
 
+    /// Empties the interval list and resets the floor, keeping the
+    /// allocation (arena reuse).
+    fn clear(&mut self) {
+        self.busy.clear();
+        self.floor = 0;
+    }
+
     #[cfg(test)]
     fn len(&self) -> usize {
         self.busy.len()
@@ -193,6 +201,19 @@ impl Dram {
     /// Performs one *demand* 64-byte access issued at time `at`,
     /// returning its resolved timing.
     pub fn access(&mut self, block: BlockAddr, kind: AccessKind, at: Time) -> DramAccess {
+        self.access_obs(block, kind, at, &mut NopSink)
+    }
+
+    /// [`Dram::access`] with an observability sink: emits the row-buffer
+    /// outcome as a trace event, the issue-to-arrival latency to the DRAM
+    /// stage histogram, and a bus-occupancy trace event per transfer.
+    pub fn access_obs(
+        &mut self,
+        block: BlockAddr,
+        kind: AccessKind,
+        at: Time,
+        obs: &mut dyn TraceSink,
+    ) -> DramAccess {
         let coord = self.mapping.coord(block);
         self.housekeeping(at);
         let bank_index = (coord.channel * self.mapping.banks_per_channel() + coord.bank) as usize;
@@ -218,6 +239,22 @@ impl Dram {
         let arrival = bus_start + self.transfer;
 
         self.tracker.record(kind, self.transfer, arrival);
+        if obs.enabled() {
+            let row_event = match row_outcome {
+                RowOutcome::Hit => EventKind::RowHit,
+                RowOutcome::Closed => EventKind::RowClosed,
+                RowOutcome::Conflict => EventKind::RowConflict,
+            };
+            obs.event(at, Component::Dram, row_event, block.raw(), arrival - at);
+            obs.event(
+                bus_start,
+                Component::Dram,
+                EventKind::BusTransfer,
+                block.raw(),
+                self.transfer,
+            );
+            obs.latency(Stage::Dram, arrival - at);
+        }
         DramAccess {
             arrival,
             bus_start,
@@ -239,11 +276,24 @@ impl Dram {
     /// compete — which is when Counter-light's epoch switch turns them
     /// off.
     pub fn background_access(&mut self, block: BlockAddr, kind: AccessKind, at: Time) -> Time {
+        self.background_access_obs(block, kind, at, &mut NopSink)
+    }
+
+    /// [`Dram::background_access`] with an observability sink: counts the
+    /// transfer toward bus occupancy.
+    pub fn background_access_obs(
+        &mut self,
+        block: BlockAddr,
+        kind: AccessKind,
+        at: Time,
+        obs: &mut dyn TraceSink,
+    ) -> Time {
         let coord = self.mapping.coord(block);
         self.housekeeping(at);
         let bus_start = self.bus_busy[coord.channel as usize].reserve(at, self.transfer);
         let arrival = bus_start + self.transfer;
         self.tracker.record(kind, self.transfer, arrival);
+        obs.count(EventKind::BusTransfer);
         arrival
     }
 
@@ -298,6 +348,25 @@ impl Dram {
         self.row_hits = 0;
         self.row_closed = 0;
         self.row_conflicts = 0;
+    }
+
+    /// Resets the device to its exact just-constructed state while keeping
+    /// every allocation (row state, reservation lists, statistics). Used
+    /// by the run-matrix arena so a worker can reuse one `Dram` across
+    /// cells with bit-identical results.
+    pub fn reset_full(&mut self) {
+        for row in &mut self.bank_rows {
+            *row = None;
+        }
+        for bank in &mut self.bank_busy {
+            bank.clear();
+        }
+        for bus in &mut self.bus_busy {
+            bus.clear();
+        }
+        self.reset_stats();
+        self.max_stamp = Time::ZERO;
+        self.accesses_since_prune = 0;
     }
 }
 
@@ -494,6 +563,54 @@ mod tests {
         // Requests older than the floor are clamped to it.
         let s = r.reserve(Time::ZERO, ns(10.0));
         assert_eq!(s, Time::ZERO + ns(50.0));
+    }
+
+    #[test]
+    fn reset_full_restores_fresh_behaviour() {
+        // Drive a dram hard, reset it, and require the exact access
+        // timings of a freshly constructed device.
+        let mut used = dram();
+        let mut rng = clme_types::rng::Xoshiro256::seed_from(7);
+        let mut t = Time::ZERO;
+        for _ in 0..5_000 {
+            t += TimeDelta::from_picos(1 + rng.below(20_000));
+            used.access(BlockAddr::new(rng.below(1 << 20)), AccessKind::Read, t);
+            used.background_access(BlockAddr::new(rng.below(1 << 20)), AccessKind::Write, t);
+        }
+        used.reset_full();
+        let mut fresh = dram();
+        let mut replay = clme_types::rng::Xoshiro256::seed_from(99);
+        let mut at = Time::ZERO;
+        for _ in 0..2_000 {
+            at += TimeDelta::from_picos(1 + replay.below(15_000));
+            let block = BlockAddr::new(replay.below(1 << 20));
+            assert_eq!(
+                used.access(block, AccessKind::Read, at),
+                fresh.access(block, AccessKind::Read, at)
+            );
+        }
+        assert_eq!(used.row_hits(), fresh.row_hits());
+        assert_eq!(used.activations(), fresh.activations());
+        assert_eq!(used.tracker().reads(), fresh.tracker().reads());
+    }
+
+    #[test]
+    fn access_obs_reports_row_outcomes_and_latency() {
+        use clme_obs::Recorder;
+
+        let mut d = dram();
+        let mut rec = Recorder::new();
+        let first = d.access_obs(BlockAddr::new(0), AccessKind::Read, Time::ZERO, &mut rec);
+        d.access_obs(BlockAddr::new(1), AccessKind::Read, first.arrival, &mut rec);
+        d.background_access_obs(BlockAddr::new(77), AccessKind::Write, Time::ZERO, &mut rec);
+        assert_eq!(rec.counters().get(EventKind::RowClosed), 1);
+        assert_eq!(rec.counters().get(EventKind::RowHit), 1);
+        assert_eq!(rec.counters().get(EventKind::BusTransfer), 3);
+        assert_eq!(rec.stage(Stage::Dram).count(), 2);
+        // The plain entry point must match the instrumented one exactly.
+        let mut plain = dram();
+        let p = plain.access(BlockAddr::new(0), AccessKind::Read, Time::ZERO);
+        assert_eq!(p, first);
     }
 
     #[test]

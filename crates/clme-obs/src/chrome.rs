@@ -1,0 +1,150 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the object form (`{"traceEvents": [...]}`) with complete (`"X"`)
+//! events, one virtual thread per [`Component`], so a recorded run opens
+//! directly in Perfetto or `chrome://tracing`. Timestamps are microseconds
+//! per the trace_event spec; simulated picoseconds divide exactly into
+//! fractional µs, and the encoder's shortest-round-trip float formatting
+//! keeps the output byte-stable.
+
+use crate::counters::Component;
+use crate::ring::TraceRing;
+use clme_types::json::JsonValue;
+use clme_types::time::PS_PER_US;
+
+/// The `pid` used for all emitted events (one simulated process).
+const TRACE_PID: f64 = 1.0;
+
+fn us(ps: u64) -> f64 {
+    ps as f64 / PS_PER_US as f64
+}
+
+/// Serialises a ring of trace events as Chrome `trace_event` JSON.
+///
+/// # Examples
+///
+/// ```
+/// use clme_obs::{chrome_trace_json, Component, EventKind, TraceEvent, TraceRing};
+/// use clme_types::{Time, TimeDelta};
+///
+/// let mut ring = TraceRing::new(8);
+/// ring.push(TraceEvent {
+///     at: Time::from_picos(2_000_000),
+///     component: Component::Dram,
+///     event: EventKind::RowHit,
+///     addr: 0x41,
+///     latency: TimeDelta::from_ns(20),
+/// });
+/// let json = chrome_trace_json(&ring);
+/// assert!(json.contains("\"traceEvents\""));
+/// assert!(json.contains("\"row-hit\""));
+/// ```
+pub fn chrome_trace_json(ring: &TraceRing) -> String {
+    let mut events: Vec<JsonValue> = Vec::with_capacity(ring.len() + Component::ALL.len());
+    // Metadata events name the virtual threads so tracks are labelled.
+    for &component in Component::ALL.iter() {
+        events.push(JsonValue::Obj(vec![
+            ("ph".into(), JsonValue::Str("M".into())),
+            ("pid".into(), JsonValue::Num(TRACE_PID)),
+            ("tid".into(), JsonValue::Num(component as usize as f64)),
+            ("name".into(), JsonValue::Str("thread_name".into())),
+            (
+                "args".into(),
+                JsonValue::Obj(vec![(
+                    "name".into(),
+                    JsonValue::Str(component.name().into()),
+                )]),
+            ),
+        ]));
+    }
+    for event in ring.iter() {
+        events.push(JsonValue::Obj(vec![
+            ("name".into(), JsonValue::Str(event.event.name().into())),
+            (
+                "cat".into(),
+                JsonValue::Str(event.component.name().into()),
+            ),
+            ("ph".into(), JsonValue::Str("X".into())),
+            ("pid".into(), JsonValue::Num(TRACE_PID)),
+            (
+                "tid".into(),
+                JsonValue::Num(event.component as usize as f64),
+            ),
+            ("ts".into(), JsonValue::Num(us(event.at.picos()))),
+            ("dur".into(), JsonValue::Num(us(event.latency.picos()))),
+            (
+                "args".into(),
+                JsonValue::Obj(vec![(
+                    "addr".into(),
+                    JsonValue::Str(format!("{:#x}", event.addr)),
+                )]),
+            ),
+        ]));
+    }
+    let doc = JsonValue::Obj(vec![
+        ("displayTimeUnit".into(), JsonValue::Str("ns".into())),
+        ("traceEvents".into(), JsonValue::Arr(events)),
+    ]);
+    let mut out = doc.to_pretty();
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::EventKind;
+    use crate::ring::TraceEvent;
+    use clme_types::{Time, TimeDelta};
+
+    fn sample_ring() -> TraceRing {
+        let mut ring = TraceRing::new(8);
+        ring.push(TraceEvent {
+            at: Time::from_picos(1_500_000),
+            component: Component::Engine,
+            event: EventKind::ReadMiss,
+            addr: 0x1234,
+            latency: TimeDelta::from_ns(87),
+        });
+        ring.push(TraceEvent {
+            at: Time::from_picos(2_000_000),
+            component: Component::Core,
+            event: EventKind::RobStall,
+            addr: 0,
+            latency: TimeDelta::from_ns(3),
+        });
+        ring
+    }
+
+    #[test]
+    fn emits_parseable_object_form() {
+        let json = chrome_trace_json(&sample_ring());
+        let doc = clme_types::json::parse(&json).expect("emitted trace must parse");
+        let events = match doc.get("traceEvents") {
+            Some(JsonValue::Arr(items)) => items,
+            other => panic!("traceEvents missing or not an array: {other:?}"),
+        };
+        // 4 thread_name metadata events + 2 samples.
+        assert_eq!(events.len(), 6);
+        let first_real = &events[4];
+        assert_eq!(first_real.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert_eq!(
+            first_real.get("name").and_then(|v| v.as_str()),
+            Some("read-miss")
+        );
+        assert_eq!(first_real.get("ts").and_then(|v| v.as_f64()), Some(1.5));
+        assert_eq!(first_real.get("dur").and_then(|v| v.as_f64()), Some(0.087));
+        assert_eq!(
+            first_real
+                .get("args")
+                .and_then(|a| a.get("addr"))
+                .and_then(|v| v.as_str()),
+            Some("0x1234")
+        );
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        assert_eq!(chrome_trace_json(&sample_ring()), chrome_trace_json(&sample_ring()));
+    }
+}

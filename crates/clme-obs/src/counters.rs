@@ -1,0 +1,261 @@
+//! Monotonic event counters and the component/event vocabulary.
+//!
+//! The enums here are the shared vocabulary between instrumentation sites
+//! (which emit) and sinks (which aggregate). They are `#[repr(usize)]` so a
+//! counter bank is a flat array indexed without hashing.
+
+use core::fmt;
+
+/// The pipeline component an event was observed in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Component {
+    /// The interval core model (ROB / dispatch).
+    Core = 0,
+    /// The L1/L2/LLC cache hierarchy.
+    Cache = 1,
+    /// An encryption engine (any of the four kinds).
+    Engine = 2,
+    /// The DRAM bank/bus timing model.
+    Dram = 3,
+}
+
+impl Component {
+    /// All components, in index order.
+    pub const ALL: [Component; 4] = [
+        Component::Core,
+        Component::Cache,
+        Component::Engine,
+        Component::Dram,
+    ];
+
+    /// Stable lower-case name (used in trace categories and reports).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Component::Core => "core",
+            Component::Cache => "cache",
+            Component::Engine => "engine",
+            Component::Dram => "dram",
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happened. One counter slot per variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum EventKind {
+    /// A demand read missed the LLC and entered the engine read path.
+    ReadMiss = 0,
+    /// A prefetch fill passed through the engine.
+    PrefetchFill = 1,
+    /// A dirty eviction entered the engine writeback path.
+    Writeback = 2,
+    /// A counter fetch had to go to DRAM (counter-cache miss).
+    CounterFetchStart = 3,
+    /// A counter fetch was served by the counter cache.
+    CounterCacheHit = 4,
+    /// The counter became known only after the data arrived.
+    CounterLate = 5,
+    /// The OTP came from the sequential-pad memo (no AES on the path).
+    PadMemoized = 6,
+    /// The OTP required a fresh AES pipeline pass.
+    PadAes = 7,
+    /// A MAC/ECC integrity check on the read path.
+    MacVerify = 8,
+    /// A writeback encrypted in counter mode.
+    WritebackCounterMode = 9,
+    /// A writeback encrypted in counterless (direct) mode.
+    WritebackCounterless = 10,
+    /// DRAM demand access hit the open row.
+    RowHit = 11,
+    /// DRAM demand access to a closed bank (activate needed).
+    RowClosed = 12,
+    /// DRAM demand access conflicted with a different open row.
+    RowConflict = 13,
+    /// A burst occupied the channel bus (demand or background).
+    BusTransfer = 14,
+    /// Demand access hit in a core's L1.
+    L1Hit = 15,
+    /// Demand access hit in a core's L2.
+    L2Hit = 16,
+    /// Demand access hit in the shared LLC.
+    LlcHit = 17,
+    /// Demand access missed the whole hierarchy.
+    LlcMiss = 18,
+    /// Dispatch stalled because the ROB was full.
+    RobStall = 19,
+}
+
+/// Number of [`EventKind`] variants.
+pub const EVENT_KINDS: usize = 20;
+
+impl EventKind {
+    /// All event kinds, in index order.
+    pub const ALL: [EventKind; EVENT_KINDS] = [
+        EventKind::ReadMiss,
+        EventKind::PrefetchFill,
+        EventKind::Writeback,
+        EventKind::CounterFetchStart,
+        EventKind::CounterCacheHit,
+        EventKind::CounterLate,
+        EventKind::PadMemoized,
+        EventKind::PadAes,
+        EventKind::MacVerify,
+        EventKind::WritebackCounterMode,
+        EventKind::WritebackCounterless,
+        EventKind::RowHit,
+        EventKind::RowClosed,
+        EventKind::RowConflict,
+        EventKind::BusTransfer,
+        EventKind::L1Hit,
+        EventKind::L2Hit,
+        EventKind::LlcHit,
+        EventKind::LlcMiss,
+        EventKind::RobStall,
+    ];
+
+    /// Stable kebab-case name (used in trace events and reports).
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventKind::ReadMiss => "read-miss",
+            EventKind::PrefetchFill => "prefetch-fill",
+            EventKind::Writeback => "writeback",
+            EventKind::CounterFetchStart => "counter-fetch-start",
+            EventKind::CounterCacheHit => "counter-cache-hit",
+            EventKind::CounterLate => "counter-late",
+            EventKind::PadMemoized => "pad-memoized",
+            EventKind::PadAes => "pad-aes",
+            EventKind::MacVerify => "mac-verify",
+            EventKind::WritebackCounterMode => "writeback-counter-mode",
+            EventKind::WritebackCounterless => "writeback-counterless",
+            EventKind::RowHit => "row-hit",
+            EventKind::RowClosed => "row-closed",
+            EventKind::RowConflict => "row-conflict",
+            EventKind::BusTransfer => "bus-transfer",
+            EventKind::L1Hit => "l1-hit",
+            EventKind::L2Hit => "l2-hit",
+            EventKind::LlcHit => "llc-hit",
+            EventKind::LlcMiss => "llc-miss",
+            EventKind::RobStall => "rob-stall",
+        }
+    }
+
+    /// The component this kind of event belongs to.
+    pub const fn component(self) -> Component {
+        match self {
+            EventKind::ReadMiss
+            | EventKind::PrefetchFill
+            | EventKind::Writeback
+            | EventKind::CounterFetchStart
+            | EventKind::CounterCacheHit
+            | EventKind::CounterLate
+            | EventKind::PadMemoized
+            | EventKind::PadAes
+            | EventKind::MacVerify
+            | EventKind::WritebackCounterMode
+            | EventKind::WritebackCounterless => Component::Engine,
+            EventKind::RowHit
+            | EventKind::RowClosed
+            | EventKind::RowConflict
+            | EventKind::BusTransfer => Component::Dram,
+            EventKind::L1Hit | EventKind::L2Hit | EventKind::LlcHit | EventKind::LlcMiss => {
+                Component::Cache
+            }
+            EventKind::RobStall => Component::Core,
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A flat bank of monotonic counters, one per [`EventKind`].
+///
+/// # Examples
+///
+/// ```
+/// use clme_obs::{EventCounters, EventKind};
+///
+/// let mut c = EventCounters::new();
+/// c.bump(EventKind::RowHit);
+/// assert_eq!(c.get(EventKind::RowHit), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EventCounters {
+    counts: [u64; EVENT_KINDS],
+}
+
+impl EventCounters {
+    /// Creates a zeroed counter bank.
+    pub const fn new() -> EventCounters {
+        EventCounters {
+            counts: [0; EVENT_KINDS],
+        }
+    }
+
+    /// Increments the counter for `kind`.
+    #[inline]
+    pub fn bump(&mut self, kind: EventKind) {
+        self.counts[kind as usize] += 1;
+    }
+
+    /// Current value of the counter for `kind`.
+    pub fn get(&self, kind: EventKind) -> u64 {
+        self.counts[kind as usize]
+    }
+
+    /// Iterates `(kind, count)` pairs with nonzero counts, in index order.
+    pub fn nonzero(&self) -> impl Iterator<Item = (EventKind, u64)> + '_ {
+        EventKind::ALL
+            .iter()
+            .map(|&k| (k, self.get(k)))
+            .filter(|&(_, n)| n > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_and_indices_agree() {
+        for (i, &k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(k as usize, i, "{k} discriminant drifted from ALL order");
+        }
+        for (i, &c) in Component::ALL.iter().enumerate() {
+            assert_eq!(c as usize, i);
+        }
+    }
+
+    #[test]
+    fn bump_and_nonzero() {
+        let mut c = EventCounters::new();
+        c.bump(EventKind::LlcMiss);
+        c.bump(EventKind::LlcMiss);
+        c.bump(EventKind::RobStall);
+        assert_eq!(c.get(EventKind::LlcMiss), 2);
+        assert_eq!(c.get(EventKind::L1Hit), 0);
+        let listed: Vec<_> = c.nonzero().collect();
+        assert_eq!(
+            listed,
+            vec![(EventKind::LlcMiss, 2), (EventKind::RobStall, 1)]
+        );
+    }
+
+    #[test]
+    fn every_kind_has_a_component_and_name() {
+        for &k in EventKind::ALL.iter() {
+            assert!(!k.name().is_empty());
+            let _ = k.component(); // must be total
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Fixed-bucket log2 latency histogram.
+//!
+//! Latencies in this simulator span five orders of magnitude (sub-ns AES
+//! stages to tens-of-µs queueing pathologies), so linear buckets either
+//! lose the tail or the head. A power-of-two bucketing keeps both with a
+//! single 64-slot array and no allocation on the record path.
+
+use clme_types::TimeDelta;
+
+/// Number of buckets; covers every representable `u64` picosecond value.
+pub const LOG2_BUCKETS: usize = 64;
+
+/// A latency histogram with power-of-two picosecond buckets.
+///
+/// Bucket `0` holds exact zeros; bucket `i >= 1` holds latencies in
+/// `[2^(i-1), 2^i)` picoseconds. The exact sum is kept alongside so the
+/// mean is not quantised.
+///
+/// # Examples
+///
+/// ```
+/// use clme_obs::Log2Histogram;
+/// use clme_types::TimeDelta;
+///
+/// let mut h = Log2Histogram::new();
+/// h.record(TimeDelta::from_picos(3));
+/// assert_eq!(h.bucket_count(2), 1); // [2, 4) ps
+/// assert_eq!(h.mean_ps(), 3.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; LOG2_BUCKETS],
+    total: u64,
+    sum_ps: u128,
+    max_ps: u64,
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Log2Histogram {
+        Log2Histogram {
+            counts: [0; LOG2_BUCKETS],
+            total: 0,
+            sum_ps: 0,
+            max_ps: 0,
+        }
+    }
+
+    /// Bucket index for a picosecond value: 0 for 0, else
+    /// `64 - leading_zeros(ps)`, clamped so the last bucket also absorbs
+    /// values at and above `2^63`.
+    #[inline]
+    pub fn bucket_of(ps: u64) -> usize {
+        ((64 - ps.leading_zeros()) as usize).min(LOG2_BUCKETS - 1)
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&mut self, latency: TimeDelta) {
+        let ps = latency.picos();
+        self.counts[Self::bucket_of(ps)] += 1;
+        self.total += 1;
+        self.sum_ps += ps as u128;
+        self.max_ps = self.max_ps.max(ps);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of samples in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Inclusive lower bound of bucket `i`, in picoseconds.
+    pub fn bucket_lo_ps(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Exclusive upper bound of bucket `i`, in picoseconds (saturating for
+    /// the last bucket).
+    pub fn bucket_hi_ps(i: usize) -> u64 {
+        if i == 0 {
+            1
+        } else if i >= 63 {
+            u64::MAX
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Exact mean of the recorded samples, in picoseconds (0 when empty).
+    pub fn mean_ps(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_ps as f64 / self.total as f64
+        }
+    }
+
+    /// Largest recorded sample, in picoseconds.
+    pub fn max_ps(&self) -> u64 {
+        self.max_ps
+    }
+
+    /// Approximate `p`-th percentile (`0.0..=1.0`), in picoseconds: the
+    /// upper bound of the first bucket whose cumulative count reaches
+    /// `p * total`, clamped to the observed maximum. Returns 0 when empty.
+    pub fn percentile_ps(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let target = target.max(1);
+        let mut seen = 0;
+        for i in 0..LOG2_BUCKETS {
+            seen += self.counts[i];
+            if seen >= target {
+                return Self::bucket_hi_ps(i).saturating_sub(1).min(self.max_ps);
+            }
+        }
+        self.max_ps
+    }
+
+    /// Resets all buckets to empty.
+    pub fn clear(&mut self) {
+        *self = Log2Histogram::new();
+    }
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // 0 -> bucket 0; [2^(i-1), 2^i) -> bucket i.
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        for i in 1..62usize {
+            let lo = 1u64 << (i - 1);
+            let hi = 1u64 << i;
+            assert_eq!(Log2Histogram::bucket_of(lo), i, "lower edge of bucket {i}");
+            assert_eq!(Log2Histogram::bucket_of(hi - 1), i, "upper edge of bucket {i}");
+            assert_eq!(Log2Histogram::bucket_of(hi), i + 1, "next bucket after {i}");
+            assert_eq!(Log2Histogram::bucket_lo_ps(i), lo);
+            assert_eq!(Log2Histogram::bucket_hi_ps(i), hi);
+        }
+        // The last bucket absorbs everything at and above 2^62.
+        assert_eq!(Log2Histogram::bucket_of(1u64 << 62), 63);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 63);
+        assert_eq!(Log2Histogram::bucket_hi_ps(63), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_summaries() {
+        let mut h = Log2Histogram::new();
+        for ps in [0u64, 1, 2, 3, 4, 1000, 1024] {
+            h.record(TimeDelta::from_picos(ps));
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.bucket_count(0), 1); // 0
+        assert_eq!(h.bucket_count(1), 1); // 1
+        assert_eq!(h.bucket_count(2), 2); // 2, 3
+        assert_eq!(h.bucket_count(3), 1); // 4
+        assert_eq!(h.bucket_count(10), 1); // 1000 in [512, 1024)
+        assert_eq!(h.bucket_count(11), 1); // 1024 in [1024, 2048)
+        assert_eq!(h.max_ps(), 1024);
+        let mean = (0 + 1 + 2 + 3 + 4 + 1000 + 1024) as f64 / 7.0;
+        assert!((h.mean_ps() - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_monotonic_and_clamped() {
+        let mut h = Log2Histogram::new();
+        for ps in 1..=100u64 {
+            h.record(TimeDelta::from_picos(ps));
+        }
+        let p50 = h.percentile_ps(0.5);
+        let p99 = h.percentile_ps(0.99);
+        assert!(p50 <= p99);
+        assert!(p99 <= h.max_ps());
+        assert_eq!(h.percentile_ps(1.0), h.max_ps());
+        assert_eq!(Log2Histogram::new().percentile_ps(0.5), 0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut h = Log2Histogram::new();
+        h.record(TimeDelta::from_ns(5));
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ps(), 0.0);
+        assert_eq!(h, Log2Histogram::new());
+    }
+}

@@ -1,0 +1,37 @@
+//! Zero-overhead-when-off observability for the simulator stack.
+//!
+//! Every timed component (engines, DRAM, caches, the interval core) takes a
+//! `&mut dyn` [`TraceSink`] on its `_obs` entry points. The default
+//! [`NopSink`] implements every hook as an empty inline method, so the
+//! un-instrumented call paths keep their exact behaviour and cost; the
+//! [`Recorder`] sink accumulates:
+//!
+//! * [`Log2Histogram`] — fixed 64-bucket power-of-two picosecond latency
+//!   histograms, one per pipeline [`Stage`],
+//! * [`EventCounters`] — monotonic counters, one per [`EventKind`],
+//! * [`TraceRing`] — a bounded ring of `(cycle, component, event, addr,
+//!   latency)` tuples, exportable as Chrome `trace_event` JSON
+//!   ([`chrome_trace_json`]) viewable in Perfetto / `about:tracing`.
+//!
+//! # Examples
+//!
+//! ```
+//! use clme_obs::{Recorder, Stage, TraceSink};
+//! use clme_types::{Time, TimeDelta};
+//!
+//! let mut rec = Recorder::new();
+//! rec.latency(Stage::Dram, TimeDelta::from_ns(46));
+//! assert_eq!(rec.stage(Stage::Dram).count(), 1);
+//! ```
+
+pub mod chrome;
+pub mod counters;
+pub mod hist;
+pub mod ring;
+pub mod sink;
+
+pub use chrome::chrome_trace_json;
+pub use counters::{Component, EventCounters, EventKind};
+pub use hist::Log2Histogram;
+pub use ring::{TraceEvent, TraceRing};
+pub use sink::{NopSink, Recorder, Stage, TraceSink, DEFAULT_RING_CAPACITY, STAGES};

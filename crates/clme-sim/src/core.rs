@@ -23,6 +23,8 @@ pub struct CoreModel {
     last_load_completion: Time,
     last_retire: Time,
     instructions: u64,
+    rob_stall: TimeDelta,
+    rob_stall_events: u64,
     mshrs: MshrFile,
 }
 
@@ -40,6 +42,8 @@ impl CoreModel {
             last_load_completion: Time::ZERO,
             last_retire: Time::ZERO,
             instructions: 0,
+            rob_stall: TimeDelta::ZERO,
+            rob_stall_events: 0,
             mshrs: MshrFile::new(Self::MSHRS),
         }
     }
@@ -56,10 +60,25 @@ impl CoreModel {
         self.instructions
     }
 
-    /// Resets the instruction counter (at a measurement boundary) without
-    /// touching timing state.
+    /// Resets the instruction counter and the ROB-stall attribution
+    /// counters (at a measurement boundary) without touching timing
+    /// state.
     pub fn reset_instruction_count(&mut self) {
         self.instructions = 0;
+        self.rob_stall = TimeDelta::ZERO;
+        self.rob_stall_events = 0;
+    }
+
+    /// Total dispatch time lost waiting on a full ROB (the oldest entry's
+    /// retirement gating dispatch) since the last reset.
+    pub fn rob_stall(&self) -> TimeDelta {
+        self.rob_stall
+    }
+
+    /// Number of dispatches that stalled on a full ROB since the last
+    /// reset.
+    pub fn rob_stall_events(&self) -> u64 {
+        self.rob_stall_events
     }
 
     /// The earliest time a new instruction may dispatch given ROB
@@ -72,7 +91,15 @@ impl CoreModel {
     /// would diverge from the core clocks.
     fn rob_dispatch_floor(&mut self) -> Time {
         if self.rob.len() >= self.rob_capacity {
-            self.rob.pop_front().expect("rob full implies nonempty")
+            let floor = self.rob.pop_front().expect("rob full implies nonempty");
+            // Attribute the dispatch time lost to the full ROB: the gap
+            // between where the core wanted to dispatch and the oldest
+            // entry's retirement.
+            if floor > self.cursor {
+                self.rob_stall += floor - self.cursor;
+                self.rob_stall_events += 1;
+            }
+            floor
         } else {
             Time::ZERO
         }
@@ -227,5 +254,25 @@ mod tests {
         c.reset_instruction_count();
         assert_eq!(c.instructions(), 0);
         assert!(c.now() > Time::ZERO, "timing preserved");
+    }
+
+    #[test]
+    fn rob_stall_is_attributed() {
+        let mut cfg = SystemConfig::isca_table1();
+        cfg.rob_entries = 2;
+        let mut c = CoreModel::new(&cfg);
+        assert_eq!(c.rob_stall(), TimeDelta::ZERO);
+        let i1 = c.begin_mem(false);
+        c.complete_mem(i1 + ns(100), true);
+        let i2 = c.begin_mem(false);
+        c.complete_mem(i2 + ns(100), true);
+        // Third dispatch stalls on the first retire (cursor is still in
+        // the first nanosecond; the retire is ~100 ns out).
+        c.begin_mem(false);
+        assert_eq!(c.rob_stall_events(), 1);
+        assert!(c.rob_stall() > ns(90), "stall {:?}", c.rob_stall());
+        c.reset_instruction_count();
+        assert_eq!(c.rob_stall_events(), 0);
+        assert_eq!(c.rob_stall(), TimeDelta::ZERO);
     }
 }

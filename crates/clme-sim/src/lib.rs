@@ -32,7 +32,10 @@ pub mod result;
 pub mod run;
 
 pub use machine::Machine;
-pub use matrix::{MatrixCell, RunMatrix};
+pub use matrix::{glob_match, MatrixCell, RunMatrix};
 pub use report::{compare, StatsSnapshot, Tolerance};
-pub use result::SimResult;
-pub use run::{run_benchmark, run_benchmark_seeded, run_with_engine, SimParams};
+pub use result::{CoreWindow, SimResult};
+pub use run::{
+    run_benchmark, run_benchmark_recorded, run_benchmark_seeded, run_benchmark_seeded_reusing,
+    run_with_engine, MachineArena, SimParams,
+};

@@ -6,11 +6,12 @@
 //! (Section V: warm up tree/memo/caches, then observe a fixed window).
 
 use crate::core::CoreModel;
-use crate::result::SimResult;
+use crate::result::{CoreWindow, SimResult};
 use clme_cache::hierarchy::{HitLevel, MemorySystemCaches};
 use clme_core::engine::EncryptionEngine;
 use clme_dram::power::PowerParams;
 use clme_dram::timing::Dram;
+use clme_obs::{Component, EventKind, NopSink, Stage, TraceSink};
 use clme_types::config::SystemConfig;
 use clme_types::{Time, TimeDelta};
 use clme_workloads::{Op, Workload};
@@ -23,6 +24,7 @@ pub struct Machine {
     caches: MemorySystemCaches,
     engine: Box<dyn EncryptionEngine>,
     dram: Dram,
+    obs: Box<dyn TraceSink>,
     l1_latency: TimeDelta,
     l2_path: TimeDelta,
     llc_path: TimeDelta,
@@ -39,6 +41,40 @@ impl Machine {
         engine: Box<dyn EncryptionEngine>,
         workloads: Vec<Box<dyn Workload>>,
     ) -> Machine {
+        let caches = MemorySystemCaches::new(&cfg);
+        let dram = Dram::new(&cfg);
+        Machine::assemble(cfg, engine, workloads, caches, dram)
+    }
+
+    /// Builds a machine reusing previously-allocated cache arrays and
+    /// DRAM state (from [`Machine::into_parts`]): both are reset to
+    /// freshly-constructed behaviour, so a machine built this way is
+    /// observationally identical to [`Machine::new`] with the same
+    /// arguments. The parts must come from a machine built with an
+    /// identical configuration — geometry is not re-checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of workloads differs from `cfg.cores`.
+    pub fn from_parts(
+        cfg: SystemConfig,
+        engine: Box<dyn EncryptionEngine>,
+        workloads: Vec<Box<dyn Workload>>,
+        mut caches: MemorySystemCaches,
+        mut dram: Dram,
+    ) -> Machine {
+        caches.reset_full();
+        dram.reset_full();
+        Machine::assemble(cfg, engine, workloads, caches, dram)
+    }
+
+    fn assemble(
+        cfg: SystemConfig,
+        engine: Box<dyn EncryptionEngine>,
+        workloads: Vec<Box<dyn Workload>>,
+        caches: MemorySystemCaches,
+        dram: Dram,
+    ) -> Machine {
         assert_eq!(
             workloads.len(),
             cfg.cores,
@@ -46,15 +82,35 @@ impl Machine {
         );
         Machine {
             cores: (0..cfg.cores).map(|_| CoreModel::new(&cfg)).collect(),
-            caches: MemorySystemCaches::new(&cfg),
+            caches,
             engine,
-            dram: Dram::new(&cfg),
+            dram,
+            obs: Box::new(NopSink),
             l1_latency: cfg.l1d.latency,
             l2_path: cfg.l1d.latency + cfg.l2.latency,
             llc_path: cfg.l1d.latency + cfg.l2.latency + cfg.llc.latency,
             cfg,
             workloads,
         }
+    }
+
+    /// Recovers the reusable heavyweight parts (cache arrays and DRAM
+    /// state) so the next machine for the same configuration can skip
+    /// their allocation.
+    pub fn into_parts(self) -> (MemorySystemCaches, Dram) {
+        (self.caches, self.dram)
+    }
+
+    /// Installs an observability sink; all subsequent simulation events
+    /// flow into it. The default sink is the no-op [`NopSink`].
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.obs = sink;
+    }
+
+    /// Removes the installed sink (replacing it with the no-op one) and
+    /// returns it, e.g. to downcast a recorder back out after a run.
+    pub fn take_sink(&mut self) -> Box<dyn TraceSink> {
+        std::mem::replace(&mut self.obs, Box::new(NopSink))
     }
 
     /// The engine (for inspection after a run).
@@ -69,6 +125,11 @@ impl Machine {
 
     /// Executes one workload op on `core_idx`.
     fn step(&mut self, core_idx: usize) {
+        let stall_before = if self.obs.enabled() {
+            Some((self.cores[core_idx].rob_stall(), self.cores[core_idx].now()))
+        } else {
+            None
+        };
         let op = self.workloads[core_idx].next_op();
         match op {
             Op::Compute { n } => self.cores[core_idx].do_compute(n),
@@ -86,12 +147,21 @@ impl Machine {
                 self.cores[core_idx].complete_mem(completion, false);
             }
         }
+        // Attribute any dispatch time this op lost to a full ROB.
+        if let Some((stall, at)) = stall_before {
+            let grown = self.cores[core_idx].rob_stall().saturating_sub(stall);
+            if grown > TimeDelta::ZERO {
+                self.obs
+                    .event(at, Component::Core, EventKind::RobStall, core_idx as u64, grown);
+                self.obs.latency(Stage::RobStall, grown);
+            }
+        }
     }
 
     /// One access through the hierarchy; returns the load-use completion
     /// time.
     fn memory_access(&mut self, core_idx: usize, block: u64, write: bool, issue: Time) -> Time {
-        let result = self.caches.access(core_idx, block, write);
+        let result = self.caches.access_obs(core_idx, block, write, issue, &mut *self.obs);
         let level = result.level.expect("access always resolves");
         let completion = match level {
             HitLevel::L1 => issue + self.l1_latency,
@@ -100,23 +170,43 @@ impl Machine {
             HitLevel::Memory => {
                 let mc_issue = issue + self.llc_path;
                 let slot = self.cores[core_idx].acquire_mshr(mc_issue);
-                let outcome = self.engine.on_read_miss(
+                let outcome = self.engine.on_read_miss_obs(
                     clme_types::BlockAddr::new(block),
                     slot,
                     &mut self.dram,
+                    &mut *self.obs,
                 );
                 self.cores[core_idx].commit_mshr(outcome.ready);
                 outcome.ready
             }
         };
+        if self.obs.enabled() {
+            // The hierarchy's contribution to this access: how deep the
+            // lookup went (the miss's DRAM/engine time is attributed to
+            // those stages, not here).
+            let path = match level {
+                HitLevel::L1 => self.l1_latency,
+                HitLevel::L2 => self.l2_path,
+                _ => self.llc_path,
+            };
+            self.obs.latency(Stage::Cache, path);
+        }
         let traffic_time = issue + self.llc_path;
         for wb in result.writebacks {
-            self.engine
-                .on_writeback(clme_types::BlockAddr::new(wb), traffic_time, &mut self.dram);
+            self.engine.on_writeback_obs(
+                clme_types::BlockAddr::new(wb),
+                traffic_time,
+                &mut self.dram,
+                &mut *self.obs,
+            );
         }
         for pf in result.prefetch_fills {
-            self.engine
-                .on_prefetch_fill(clme_types::BlockAddr::new(pf), traffic_time, &mut self.dram);
+            self.engine.on_prefetch_fill_obs(
+                clme_types::BlockAddr::new(pf),
+                traffic_time,
+                &mut self.dram,
+                &mut *self.obs,
+            );
         }
         completion
     }
@@ -192,6 +282,7 @@ impl Machine {
         self.engine.reset_stats();
         self.dram.reset_stats();
         self.caches.reset_stats();
+        self.obs.window_reset();
         for core in &mut self.cores {
             core.reset_instruction_count();
         }
@@ -201,15 +292,27 @@ impl Machine {
         let instructions: u64 = self.cores.iter().map(CoreModel::instructions).sum();
         let tracker = self.dram.tracker();
         let elapsed_nonzero = elapsed.max(TimeDelta::from_picos(1));
+        let window_cycles = (elapsed_nonzero.picos() as f64
+            / self.cfg.core_period().picos() as f64)
+            .max(1.0);
+        let per_core = self
+            .cores
+            .iter()
+            .map(|core| CoreWindow {
+                instructions: core.instructions(),
+                ipc: core.instructions() as f64 / window_cycles,
+                rob_stall: core.rob_stall(),
+                rob_stall_events: core.rob_stall_events(),
+            })
+            .collect();
         let power = PowerParams::default();
         SimResult {
             benchmark: self.workloads[0].name().to_string(),
             engine: self.engine.kind(),
             elapsed,
             instructions,
-            ipc: instructions as f64
-                / (elapsed_nonzero.picos() as f64 / self.cfg.core_period().picos() as f64)
-                .max(1.0),
+            ipc: instructions as f64 / window_cycles,
+            per_core,
             engine_stats: self.engine.stats().clone(),
             dram_reads: tracker.reads(),
             dram_writes: tracker.writes(),

@@ -11,12 +11,30 @@
 //! enumeration order — byte-identical no matter how many threads ran it.
 
 use crate::report::StatsSnapshot;
-use crate::run::{run_benchmark_seeded, SimParams};
+use crate::run::{run_benchmark_seeded, run_benchmark_seeded_reusing, MachineArena, SimParams};
 use clme_core::engine::EngineKind;
 use clme_types::rng::SplitMix64;
 use clme_types::SystemConfig;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Matches `pattern` against `text` with shell-style wildcards: `*`
+/// matches any run of characters (including none) and `?` any single
+/// character; everything else matches literally.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    fn rec(p: &[u8], t: &[u8]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some((b'*', rest)) => {
+                (0..=t.len()).any(|skip| rec(rest, &t[skip..]))
+            }
+            Some((b'?', rest)) => !t.is_empty() && rec(rest, &t[1..]),
+            Some((&c, rest)) => t.first() == Some(&c) && rec(rest, &t[1..]),
+        }
+    }
+    rec(pattern.as_bytes(), text.as_bytes())
+}
 
 /// One cell of the evaluation grid.
 #[derive(Clone, Debug)]
@@ -47,6 +65,7 @@ pub struct RunMatrix {
     configs: Vec<(String, SystemConfig)>,
     params: SimParams,
     seed: u64,
+    filter: Option<String>,
 }
 
 impl RunMatrix {
@@ -60,6 +79,7 @@ impl RunMatrix {
             configs: Vec::new(),
             params,
             seed,
+            filter: None,
         }
     }
 
@@ -85,6 +105,15 @@ impl RunMatrix {
         self
     }
 
+    /// Restricts the grid to cells whose `config/engine/benchmark` label
+    /// matches the glob `pattern` (`*` and `?` wildcards). Because cell
+    /// seeds are label-keyed, filtering never changes a surviving cell's
+    /// result. Pass `None`/omit to run everything.
+    pub fn filter<S: Into<String>>(mut self, pattern: S) -> RunMatrix {
+        self.filter = Some(pattern.into());
+        self
+    }
+
     /// The matrix master seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -103,12 +132,18 @@ impl RunMatrix {
         for (config_name, config) in &self.configs {
             for &engine in &self.engines {
                 for bench in &self.benches {
-                    cells.push(MatrixCell {
+                    let cell = MatrixCell {
                         bench: bench.clone(),
                         engine,
                         config_name: config_name.clone(),
                         config: config.clone(),
-                    });
+                    };
+                    if let Some(pattern) = &self.filter {
+                        if !glob_match(pattern, &cell.label()) {
+                            continue;
+                        }
+                    }
+                    cells.push(cell);
                 }
             }
         }
@@ -129,6 +164,10 @@ impl RunMatrix {
     /// number of threads produces the same snapshots — each cell is a
     /// fully independent simulation seeded only by [`cell_seed`]
     /// (Self::cell_seed), and results are written back by cell index.
+    /// Each worker keeps one [`MachineArena`] per configuration and
+    /// reuses its cache/DRAM allocations across the cells it draws;
+    /// [`Machine::from_parts`](crate::machine::Machine::from_parts)
+    /// resets the parts, so reuse is byte-invisible in the snapshots.
     pub fn run(&self, threads: usize) -> Vec<StatsSnapshot> {
         let cells = self.cells();
         let threads = threads.max(1).min(cells.len().max(1));
@@ -137,13 +176,17 @@ impl RunMatrix {
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(index) else {
-                        break;
-                    };
-                    let snapshot = self.run_cell(cell);
-                    slots.lock().expect("matrix worker panicked")[index] = Some(snapshot);
+                scope.spawn(|| {
+                    let mut arenas: HashMap<String, MachineArena> = HashMap::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(cell) = cells.get(index) else {
+                            break;
+                        };
+                        let arena = arenas.entry(cell.config_name.clone()).or_default();
+                        let snapshot = self.run_cell_reusing(cell, arena);
+                        slots.lock().expect("matrix worker panicked")[index] = Some(snapshot);
+                    }
                 });
             }
         });
@@ -156,11 +199,27 @@ impl RunMatrix {
             .collect()
     }
 
-    /// Runs a single cell synchronously.
+    /// Runs a single cell synchronously with freshly-allocated machine
+    /// state.
     pub fn run_cell(&self, cell: &MatrixCell) -> StatsSnapshot {
         let seed = self.cell_seed(cell);
         let result =
             run_benchmark_seeded(&cell.config, cell.engine, &cell.bench, self.params, seed);
+        StatsSnapshot::capture(&result, &cell.config_name, seed)
+    }
+
+    /// Runs a single cell reusing `arena`'s machine allocations. The
+    /// arena must only ever see cells of one configuration.
+    pub fn run_cell_reusing(&self, cell: &MatrixCell, arena: &mut MachineArena) -> StatsSnapshot {
+        let seed = self.cell_seed(cell);
+        let result = run_benchmark_seeded_reusing(
+            &cell.config,
+            cell.engine,
+            &cell.bench,
+            self.params,
+            seed,
+            arena,
+        );
         StatsSnapshot::capture(&result, &cell.config_name, seed)
     }
 }
@@ -242,5 +301,49 @@ mod tests {
         let all = m.run(2);
         let lone = m.run_cell(&m.cells()[2]);
         assert_eq!(all[2], lone);
+    }
+
+    #[test]
+    fn glob_matcher_semantics() {
+        assert!(glob_match("*", "anything/at/all"));
+        assert!(glob_match("table1/*/bfs", "table1/counter-light/bfs"));
+        assert!(!glob_match("table1/*/bfs", "table1/counter-light/mcf"));
+        assert!(glob_match("*counter*", "table1/counter-mode/bfs"));
+        assert!(glob_match("table?", "table1"));
+        assert!(!glob_match("table?", "table12"));
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "x"));
+    }
+
+    #[test]
+    fn filter_restricts_cells_without_moving_seeds() {
+        let full = tiny();
+        let full_cells = full.cells();
+        let filtered = tiny().filter("*/counter-light/*");
+        let cells = filtered.cells();
+        let labels: Vec<String> = cells.iter().map(MatrixCell::label).collect();
+        assert_eq!(
+            labels,
+            ["table1/counter-light/bfs", "table1/counter-light/streamcluster"]
+        );
+        // Surviving cells keep their label-keyed seeds.
+        assert_eq!(filtered.cell_seed(&cells[0]), full.cell_seed(&full_cells[2]));
+        // A pattern matching nothing yields an empty grid, not an error.
+        assert!(tiny().filter("nope/*").cells().is_empty());
+    }
+
+    #[test]
+    fn arena_reuse_is_byte_invisible() {
+        let m = tiny();
+        let cells = m.cells();
+        let mut arena = MachineArena::new();
+        let first_fresh = m.run_cell(&cells[0]);
+        let first_reused = m.run_cell_reusing(&cells[0], &mut arena);
+        assert_eq!(first_fresh.to_json(), first_reused.to_json());
+        // The arena now holds used parts; a different cell through the
+        // same arena must still match a fresh machine byte-for-byte.
+        let second_fresh = m.run_cell(&cells[3]);
+        let second_reused = m.run_cell_reusing(&cells[3], &mut arena);
+        assert_eq!(second_fresh.to_json(), second_reused.to_json());
     }
 }

@@ -13,7 +13,11 @@ use clme_types::json::{self, JsonValue};
 
 /// Schema version stamped into every snapshot; bump when metric names
 /// change meaning so stale goldens fail loudly instead of silently.
-pub const SNAPSHOT_SCHEMA: u64 = 1;
+///
+/// v2 added the per-core breakdown (`core<i>.ipc`,
+/// `core<i>.rob_stall_ns`, `core<i>.rob_stall_events`) and the engine
+/// counter-cache hit-rate metrics.
+pub const SNAPSHOT_SCHEMA: u64 = 2;
 
 /// All statistics of one (config × engine × benchmark) cell, flattened
 /// to ordered `(metric, value)` pairs.
@@ -41,6 +45,11 @@ impl StatsSnapshot {
         push("instructions", result.instructions as f64);
         push("elapsed_ps", result.elapsed.picos() as f64);
         push("ipc", result.ipc);
+        for (i, core) in result.per_core.iter().enumerate() {
+            push(&format!("core{i}.ipc"), core.ipc);
+            push(&format!("core{i}.rob_stall_ns"), core.rob_stall.as_ns_f64());
+            push(&format!("core{i}.rob_stall_events"), core.rob_stall_events as f64);
+        }
         push("energy_per_instruction_nj", result.energy_per_instruction_nj);
 
         for (name, value) in result.engine_stats.export() {
@@ -262,6 +271,9 @@ mod tests {
             );
         }
         assert!(snap.metric("engine.read_misses").unwrap() > 0.0);
+        assert!(snap.metric("engine.counter_cache_hit_rate").is_some());
+        assert!(snap.metric("core0.ipc").unwrap() > 0.0);
+        assert!(snap.metric("core0.rob_stall_ns").is_some());
         assert!(snap.metric("dram.row_hits").is_some());
         assert!(snap.metric("cache.llc_mpki").unwrap() > 0.0);
         assert_eq!(snap.label(), "table1/counter-light/bfs");
@@ -325,7 +337,7 @@ mod tests {
 
     #[test]
     fn schema_mismatch_is_rejected() {
-        let text = snapshot().to_json().replace("\"schema\": 1", "\"schema\": 999");
+        let text = snapshot().to_json().replace("\"schema\": 2", "\"schema\": 999");
         assert!(StatsSnapshot::from_json(&text).is_err());
     }
 }

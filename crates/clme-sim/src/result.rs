@@ -5,6 +5,20 @@ use clme_core::stats::EngineStats;
 use clme_types::stats::Ratio;
 use clme_types::TimeDelta;
 
+/// One core's share of a measurement window (index in
+/// [`SimResult::per_core`] = core id).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoreWindow {
+    /// Instructions this core executed in the window.
+    pub instructions: u64,
+    /// This core's instructions per cycle over the window.
+    pub ipc: f64,
+    /// Dispatch time this core lost stalled on a full ROB.
+    pub rob_stall: TimeDelta,
+    /// Number of dispatches that stalled on a full ROB.
+    pub rob_stall_events: u64,
+}
+
 /// Everything measured in one simulation window.
 #[derive(Clone, Debug)]
 pub struct SimResult {
@@ -18,6 +32,8 @@ pub struct SimResult {
     pub instructions: u64,
     /// Aggregate instructions per core cycle.
     pub ipc: f64,
+    /// Per-core breakdown of the window (one entry per core).
+    pub per_core: Vec<CoreWindow>,
     /// The engine's detailed statistics.
     pub engine_stats: EngineStats,
     /// DRAM read transfers.
@@ -111,6 +127,7 @@ mod tests {
             elapsed: TimeDelta::from_ns(elapsed_ns),
             instructions: 1000,
             ipc: 1.0,
+            per_core: Vec::new(),
             engine_stats: EngineStats::new(),
             dram_reads: 0,
             dram_writes: 0,

@@ -2,8 +2,11 @@
 
 use crate::machine::Machine;
 use crate::result::SimResult;
-use clme_core::engine::{EncryptionEngine, EngineKind};
+use clme_cache::hierarchy::MemorySystemCaches;
 use clme_core::build_engine;
+use clme_core::engine::{EncryptionEngine, EngineKind};
+use clme_dram::timing::Dram;
+use clme_obs::Recorder;
 use clme_types::config::SystemConfig;
 use clme_workloads::suites;
 
@@ -93,6 +96,76 @@ pub fn run_with_engine_seeded(
     let mut machine = Machine::new(cfg.clone(), engine, workloads);
     machine.functional_warmup(params.functional_warmup_accesses);
     machine.run(params.warmup_per_core, params.measure_per_core)
+}
+
+/// A reusable allocation of the machine's heavyweight state (cache
+/// arrays and DRAM bank/row bookkeeping). A worker thread that runs many
+/// cells of the *same configuration* back-to-back keeps one arena and
+/// avoids re-allocating the multi-megabyte cache tag arrays per cell;
+/// [`Machine::from_parts`] resets the parts so results stay
+/// byte-identical to fresh construction.
+#[derive(Default)]
+pub struct MachineArena {
+    parts: Option<(MemorySystemCaches, Dram)>,
+}
+
+impl MachineArena {
+    /// Creates an empty arena (the first run allocates fresh parts).
+    pub fn new() -> MachineArena {
+        MachineArena { parts: None }
+    }
+}
+
+/// [`run_benchmark_seeded`] reusing (and refilling) `arena`'s machine
+/// parts. The arena must only ever be used with one configuration.
+pub fn run_benchmark_seeded_reusing(
+    cfg: &SystemConfig,
+    kind: EngineKind,
+    bench: &str,
+    params: SimParams,
+    seed: u64,
+    arena: &mut MachineArena,
+) -> SimResult {
+    let engine = build_engine(kind, cfg, suites::address_space_blocks());
+    let workloads = (0..cfg.cores)
+        .map(|c| suites::instantiate_seeded(bench, c, seed))
+        .collect();
+    let mut machine = match arena.parts.take() {
+        Some((caches, dram)) => Machine::from_parts(cfg.clone(), engine, workloads, caches, dram),
+        None => Machine::new(cfg.clone(), engine, workloads),
+    };
+    machine.functional_warmup(params.functional_warmup_accesses);
+    let result = machine.run(params.warmup_per_core, params.measure_per_core);
+    arena.parts = Some(machine.into_parts());
+    result
+}
+
+/// [`run_benchmark_seeded`] with an enabled [`Recorder`] installed:
+/// returns the result plus the recorder holding per-stage latency
+/// histograms, event counters, and the bounded event ring (at most
+/// `ring_capacity` retained events).
+pub fn run_benchmark_recorded(
+    cfg: &SystemConfig,
+    kind: EngineKind,
+    bench: &str,
+    params: SimParams,
+    seed: u64,
+    ring_capacity: usize,
+) -> (SimResult, Recorder) {
+    let engine = build_engine(kind, cfg, suites::address_space_blocks());
+    let workloads = (0..cfg.cores)
+        .map(|c| suites::instantiate_seeded(bench, c, seed))
+        .collect();
+    let mut machine = Machine::new(cfg.clone(), engine, workloads);
+    machine.set_sink(Box::new(Recorder::with_capacity(ring_capacity)));
+    machine.functional_warmup(params.functional_warmup_accesses);
+    let result = machine.run(params.warmup_per_core, params.measure_per_core);
+    let recorder = machine
+        .take_sink()
+        .into_any()
+        .downcast::<Recorder>()
+        .expect("the sink installed above is a Recorder");
+    (result, *recorder)
 }
 
 #[cfg(test)]

@@ -14,4 +14,9 @@ echo "== golden smoke diff (tiny matrix) =="
 cargo run --release -q --offline -p clme-bench --bin clme -- \
     diff --tiny --golden goldens/tiny
 
+echo "== profile smoke (one tiny cell) =="
+cargo run --release -q --offline -p clme-bench --bin clme -- \
+    profile --engine counter-light --bench bfs --json BENCH_profile.json
+grep -o '"cells_per_sec": [0-9.]*' BENCH_profile.json
+
 echo "ci: all green"

@@ -12,6 +12,8 @@
 //! * [`dram`] — DRAM timing, bandwidth accounting, energy model.
 //! * [`core`] — the paper's contribution: the Counter-light engine, the
 //!   baseline engines, and the bit-exact functional memory model.
+//! * [`obs`] — zero-overhead-when-off tracing: latency histograms, event
+//!   counters, and a Chrome `trace_event` exporter.
 //! * [`sim`] — the trace-driven multi-core simulator.
 //! * [`workloads`] — synthetic stand-ins for graphBIG / SPEC / PARSEC.
 //! * [`security`] — Section IV-F analyses.
@@ -36,6 +38,7 @@ pub use clme_counters as counters;
 pub use clme_crypto as crypto;
 pub use clme_dram as dram;
 pub use clme_ecc as ecc;
+pub use clme_obs as obs;
 pub use clme_security as security;
 pub use clme_sim as sim;
 pub use clme_types as types;

@@ -1,0 +1,111 @@
+//! Cross-crate integration tests for the observability layer: recording
+//! must never perturb simulation results, recorded traces must be
+//! deterministic, and the Chrome export must be well-formed.
+
+use clme::core::engine::EngineKind;
+use clme::obs::Stage;
+use clme::sim::{
+    run_benchmark_recorded, run_benchmark_seeded, RunMatrix, SimParams, StatsSnapshot,
+};
+use clme::types::json::{parse, JsonValue};
+use clme::types::SystemConfig;
+
+fn params() -> SimParams {
+    SimParams {
+        functional_warmup_accesses: 20_000,
+        warmup_per_core: 10_000,
+        measure_per_core: 20_000,
+    }
+}
+
+const SEED: u64 = 0x00C0_FFEE;
+
+/// The whole point of the `_obs` hooks: attaching a live [`Recorder`]
+/// must not change a single byte of the simulation's statistics
+/// relative to the default no-op sink.
+#[test]
+fn recording_sink_leaves_snapshot_byte_identical() {
+    let cfg = SystemConfig::isca_table1();
+    for kind in [EngineKind::CounterMode, EngineKind::CounterLight] {
+        let plain = run_benchmark_seeded(&cfg, kind, "bfs", params(), SEED);
+        let (recorded, recorder) =
+            run_benchmark_recorded(&cfg, kind, "bfs", params(), SEED, 1 << 12);
+        assert!(recorder.ring().len() > 0, "recorder saw no events");
+        let a = StatsSnapshot::capture(&plain, "table1", SEED).to_json();
+        let b = StatsSnapshot::capture(&recorded, "table1", SEED).to_json();
+        assert_eq!(a, b, "recording perturbed the {kind:?} run");
+    }
+}
+
+#[test]
+fn recorded_trace_is_deterministic() {
+    let cfg = SystemConfig::isca_table1();
+    let (_, a) =
+        run_benchmark_recorded(&cfg, EngineKind::CounterLight, "bfs", params(), SEED, 1 << 12);
+    let (_, b) =
+        run_benchmark_recorded(&cfg, EngineKind::CounterLight, "bfs", params(), SEED, 1 << 12);
+    assert_eq!(a.chrome_trace(), b.chrome_trace());
+    for (kind, count) in a.counters().nonzero() {
+        assert_eq!(b.counters().get(kind), count, "counter {} drifted", kind.name());
+    }
+    assert_eq!(a.ring().dropped(), b.ring().dropped());
+}
+
+/// The measured window of a counter-light run must exercise every
+/// attributed pipeline stage.
+#[test]
+fn stages_cover_the_pipeline() {
+    let cfg = SystemConfig::isca_table1();
+    let (_, rec) =
+        run_benchmark_recorded(&cfg, EngineKind::CounterLight, "bfs", params(), SEED, 1 << 12);
+    for stage in [Stage::Engine, Stage::Dram, Stage::Cache, Stage::RobStall] {
+        assert!(
+            rec.stage(stage).count() > 0,
+            "stage {} recorded no samples",
+            stage.name()
+        );
+        assert!(rec.stage(stage).mean_ps() > 0.0);
+    }
+}
+
+#[test]
+fn chrome_trace_is_wellformed() {
+    let cfg = SystemConfig::isca_table1();
+    let (_, rec) =
+        run_benchmark_recorded(&cfg, EngineKind::CounterLight, "bfs", params(), SEED, 1 << 12);
+    let doc = parse(&rec.chrome_trace()).expect("trace must parse as JSON");
+    let JsonValue::Obj(fields) = &doc else {
+        panic!("trace root must be an object");
+    };
+    let unit = fields.iter().find(|(k, _)| k == "displayTimeUnit");
+    assert!(matches!(unit, Some((_, JsonValue::Str(s))) if s == "ns"));
+    let Some((_, JsonValue::Arr(events))) = fields.iter().find(|(k, _)| k == "traceEvents") else {
+        panic!("traceEvents array missing");
+    };
+    assert!(events.len() > 4, "expected metadata plus complete events");
+    for event in events {
+        let JsonValue::Obj(ev) = event else {
+            panic!("each trace event must be an object");
+        };
+        let Some((_, JsonValue::Str(ph))) = ev.iter().find(|(k, _)| k == "ph") else {
+            panic!("event missing ph");
+        };
+        assert!(ph == "M" || ph == "X", "unexpected phase {ph}");
+    }
+}
+
+/// `--filter` must not change what the surviving cells compute, and the
+/// filtered matrix must stay thread-count invariant (the same guarantee
+/// the full matrix has, now with arena reuse in the workers).
+#[test]
+fn filtered_matrix_is_thread_invariant() {
+    let matrix = RunMatrix::new(params(), SEED)
+        .benches(["bfs", "canneal"])
+        .engines([EngineKind::CounterMode, EngineKind::CounterLight])
+        .configs([("table1".to_string(), SystemConfig::isca_table1())])
+        .filter("*/counter-light/*");
+    assert_eq!(matrix.cells().len(), 2);
+    let serial: Vec<String> = matrix.run(1).iter().map(StatsSnapshot::to_json).collect();
+    let threaded: Vec<String> = matrix.run(4).iter().map(StatsSnapshot::to_json).collect();
+    assert_eq!(serial, threaded);
+}
