@@ -26,19 +26,36 @@
 //!
 //! ```text
 //! clme profile --engine counter-light --bench bfs [--json BENCH_profile.json]
+//! clme profile --series [--epoch N] [--json series.json]
+//! clme profile --diff table1/counter-mode/bfs table1/counter-light/bfs
 //! clme trace --engine counter-mode --bench mcf --out trace.json
 //! ```
 //!
-//! `trace` writes Chrome `trace_event` JSON — open it in Perfetto
+//! `--series` replays the cell under the epoch sampler and prints the
+//! per-epoch time-series (IPC, counter-cache hit rate, row-conflict
+//! rate, per-stage percentiles); `--diff` replays two cells and prints
+//! their per-stage / per-event deltas. `trace` writes Chrome
+//! `trace_event` JSON — open it in Perfetto
 //! (<https://ui.perfetto.dev>) or `about:tracing`.
+//!
+//! Performance gate: `clme perf` runs a fixed calibrated cell set,
+//! normalises cells/sec by a built-in spin-calibration loop, writes
+//! `BENCH_perf.json` (with history), and compares against
+//! `goldens/perf_baseline.json`:
+//!
+//! ```text
+//! clme perf                      # measure, append history, gate
+//! clme perf --write-baseline     # regenerate the golden baseline
+//! ```
 //!
 //! See EXPERIMENTS.md for the snapshot format and the golden workflow.
 
 use clme_core::engine::EngineKind;
-use clme_obs::{Log2Histogram, Stage};
+use clme_obs::{EventKind, Log2Histogram, Stage};
 use clme_sim::matrix::{all_engines, RunMatrix};
 use clme_sim::{
-    compare, run_benchmark, run_benchmark_recorded, SimParams, StatsSnapshot, Tolerance,
+    compare, run_benchmark, run_benchmark_recorded, run_benchmark_series, SimParams,
+    StatsSnapshot, Tolerance,
 };
 use clme_types::config::AesStrength;
 use clme_types::json::JsonValue;
@@ -163,20 +180,22 @@ struct MatrixArgs {
 
 fn matrix_usage() -> ! {
     eprintln!(
-        "usage: clme matrix [--tiny] [--threads N] [--seed HEX|DEC] [--out DIR]\n\
+        "usage: clme matrix [--tiny] [--threads N] [--seed HEX|DEC] [--out DIR|--golden DIR]\n\
          \x20                  [--filter GLOB]\n\
          \x20      clme diff   [--tiny] [--threads N] [--seed HEX|DEC] --golden DIR [--tol FRACTION]\n\
          \x20                  [--filter GLOB]\n\
          \n\
          matrix runs the (workload x engine x config) grid in parallel and\n\
          prints one summary row per cell; --out also writes one stats-snapshot\n\
-         JSON per cell. diff re-runs the same grid and compares each cell\n\
-         against DIR/<config>__<engine>__<bench>.json with a tolerance band\n\
-         (default 2% relative). --tiny selects the 12-cell smoke grid the\n\
-         checked-in goldens cover; the default grid is the paper's 72 cells.\n\
-         --filter keeps only cells whose config/engine/benchmark label\n\
-         matches GLOB (* and ? wildcards); cell results never change under\n\
-         filtering because workload seeds are label-keyed."
+         JSON per cell (--golden is an alias for --out: regenerating a golden\n\
+         directory is the same write). diff re-runs the same grid and compares\n\
+         each cell against DIR/<config>__<engine>__<bench>.json with a\n\
+         tolerance band (default 2% relative). --tiny selects the 12-cell\n\
+         smoke grid the checked-in goldens cover; the default grid is the\n\
+         paper's 72 cells (goldens/full). --filter keeps only cells whose\n\
+         config/engine/benchmark label matches GLOB (* and ? wildcards); cell\n\
+         results never change under filtering because workload seeds are\n\
+         label-keyed."
     );
     std::process::exit(2)
 }
@@ -277,7 +296,12 @@ fn print_cell_summary(snap: &StatsSnapshot) {
 }
 
 fn run_matrix_command(args: &[String]) -> i32 {
-    let args = parse_matrix_args(args);
+    let mut args = parse_matrix_args(args);
+    // For `matrix`, --golden DIR means "(re)generate that golden
+    // directory" — an alias for --out.
+    if args.out.is_none() {
+        args.out = args.golden.take();
+    }
     let matrix = build_matrix(&args);
     let cells = matrix.cells();
     eprintln!(
@@ -372,6 +396,9 @@ struct ProfileArgs {
     ring: usize,
     json: Option<PathBuf>,
     out: PathBuf,
+    series: bool,
+    epoch_cycles: u64,
+    diff: Option<(String, String)>,
 }
 
 fn profile_usage() -> ! {
@@ -379,18 +406,68 @@ fn profile_usage() -> ! {
         "usage: clme profile [--engine E] [--bench NAME] [--bandwidth high|low]\n\
          \x20                   [--seed HEX|DEC] [--measure N] [--warmup N]\n\
          \x20                   [--functional-warmup N] [--json PATH]\n\
+         \x20                   [--series] [--epoch CYCLES]\n\
+         \x20      clme profile --diff CELL_A CELL_B [same flags]\n\
          \x20      clme trace   [same flags] [--out PATH] [--ring N]\n\
          \n\
          profile runs one cell with the observability recorder installed and\n\
          prints a per-stage latency breakdown (engine / counter-fetch / dram /\n\
          cache / rob-stall), the event counters, and cells/sec throughput;\n\
-         --json also writes those numbers as a JSON artifact. trace runs the\n\
+         --json also writes those numbers as a JSON artifact.\n\
+         --series replays the cell under the epoch sampler instead and prints\n\
+         the per-epoch time-series (one row per --epoch CYCLES of simulated\n\
+         time; --json writes the full series). --diff replays two cells named\n\
+         by label (config/engine/bench, e.g. table1/counter-mode/bfs) and\n\
+         prints a per-stage and per-event delta table. trace runs the\n\
          same cell and writes the retained events as Chrome trace_event JSON\n\
          (open in Perfetto or about:tracing). The default cell is\n\
          table1/counter-light/bfs with the --tiny matrix windows, and the\n\
          workload seed is label-derived exactly like a matrix cell's."
     );
     std::process::exit(2)
+}
+
+/// One resolved cell: what `config/engine/bench` names.
+struct CellSpec {
+    config_name: String,
+    cfg: SystemConfig,
+    engine: EngineKind,
+    bench: String,
+}
+
+impl CellSpec {
+    fn label(&self) -> String {
+        format!("{}/{}/{}", self.config_name, self.engine, self.bench)
+    }
+}
+
+fn parse_engine_name(name: &str) -> Option<EngineKind> {
+    match name {
+        "none" | "no-encryption" => Some(EngineKind::None),
+        "counterless" => Some(EngineKind::Counterless),
+        "counter-mode" => Some(EngineKind::CounterMode),
+        "counter-light" => Some(EngineKind::CounterLight),
+        _ => None,
+    }
+}
+
+/// Parses a matrix cell label (`config/engine/bench`) into a spec.
+fn parse_cell_label(label: &str) -> Option<CellSpec> {
+    let mut parts = label.splitn(3, '/');
+    let config_name = parts.next()?;
+    let engine = parse_engine_name(parts.next()?)?;
+    let bench = parts.next()?;
+    let cfg = match config_name {
+        "table1" => SystemConfig::isca_table1(),
+        "low-bw" => SystemConfig::low_bandwidth(),
+        _ => return None,
+    };
+    Some(CellSpec {
+        config_name: config_name.to_string(),
+        cfg,
+        engine,
+        bench: bench.to_string(),
+    })
 }
 
 fn parse_profile_args(args: &[String]) -> ProfileArgs {
@@ -403,6 +480,9 @@ fn parse_profile_args(args: &[String]) -> ProfileArgs {
         ring: clme_obs::DEFAULT_RING_CAPACITY,
         json: None,
         out: PathBuf::from("trace.json"),
+        series: false,
+        epoch_cycles: clme_obs::DEFAULT_EPOCH_CYCLES,
+        diff: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -457,6 +537,19 @@ fn parse_profile_args(args: &[String]) -> ProfileArgs {
             "--ring" => parsed.ring = value("--ring").parse().unwrap_or_else(|_| profile_usage()),
             "--json" => parsed.json = Some(PathBuf::from(value("--json"))),
             "--out" => parsed.out = PathBuf::from(value("--out")),
+            "--series" => parsed.series = true,
+            "--epoch" => {
+                parsed.epoch_cycles = value("--epoch").parse().unwrap_or_else(|_| profile_usage());
+                if parsed.epoch_cycles == 0 {
+                    eprintln!("--epoch needs a positive cycle count");
+                    profile_usage()
+                }
+            }
+            "--diff" => {
+                let a = value("--diff CELL_A");
+                let b = value("--diff CELL_B");
+                parsed.diff = Some((a, b));
+            }
             "--help" | "-h" => profile_usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -467,26 +560,48 @@ fn parse_profile_args(args: &[String]) -> ProfileArgs {
     parsed
 }
 
-/// Runs the selected cell with a recorder installed. Returns the label,
-/// the wall-clock seconds the cell took, and the run's outputs.
-fn run_profiled_cell(
-    args: &ProfileArgs,
-) -> (String, f64, clme_sim::SimResult, clme_obs::Recorder) {
+fn cell_from_flags(args: &ProfileArgs) -> CellSpec {
     let (config_name, cfg) = if args.low_bandwidth {
         ("low-bw", SystemConfig::low_bandwidth())
     } else {
         ("table1", SystemConfig::isca_table1())
     };
-    let label = format!("{}/{}/{}", config_name, args.engine, args.bench);
-    // The same label-keyed derivation the matrix uses, so a profiled cell
-    // replays the matching matrix cell exactly.
-    let seed = SplitMix64::new(args.seed).derive(label.as_bytes());
+    CellSpec {
+        config_name: config_name.to_string(),
+        cfg,
+        engine: args.engine,
+        bench: args.bench.clone(),
+    }
+}
+
+/// The same label-keyed derivation the matrix uses, so a profiled cell
+/// replays the matching matrix cell exactly.
+fn cell_workload_seed(master_seed: u64, label: &str) -> u64 {
+    SplitMix64::new(master_seed).derive(label.as_bytes())
+}
+
+/// Runs one cell with a recorder installed. Returns the label, the
+/// wall-clock seconds the cell took, and the run's outputs.
+fn record_cell(
+    spec: &CellSpec,
+    params: SimParams,
+    master_seed: u64,
+    ring: usize,
+) -> (String, f64, clme_sim::SimResult, clme_obs::Recorder) {
+    let label = spec.label();
+    let seed = cell_workload_seed(master_seed, &label);
     eprintln!("profiling {label} (workload seed {seed:#x})");
     let started = std::time::Instant::now();
     let (result, recorder) =
-        run_benchmark_recorded(&cfg, args.engine, &args.bench, args.params, seed, args.ring);
+        run_benchmark_recorded(&spec.cfg, spec.engine, &spec.bench, params, seed, ring);
     let wall = started.elapsed().as_secs_f64();
     (label, wall, result, recorder)
+}
+
+fn run_profiled_cell(
+    args: &ProfileArgs,
+) -> (String, f64, clme_sim::SimResult, clme_obs::Recorder) {
+    record_cell(&cell_from_flags(args), args.params, args.seed, args.ring)
 }
 
 fn ns(ps: f64) -> f64 {
@@ -553,8 +668,142 @@ fn profile_json(label: &str, wall: f64, result: &clme_sim::SimResult, rec: &clme
     text
 }
 
+/// `clme profile --series`: replay the cell under the epoch sampler and
+/// print (or dump) the per-epoch time-series.
+fn run_series_profile(args: &ProfileArgs) -> i32 {
+    let spec = cell_from_flags(args);
+    let label = spec.label();
+    let seed = cell_workload_seed(args.seed, &label);
+    eprintln!(
+        "sampling {label} every {} cycles (workload seed {seed:#x})",
+        args.epoch_cycles
+    );
+    let (result, series) = run_benchmark_series(
+        &spec.cfg,
+        spec.engine,
+        &spec.bench,
+        args.params,
+        seed,
+        args.epoch_cycles,
+    );
+    println!(
+        "epoch series for {label}: {} epochs x {} cycles (window ipc {:.3})",
+        series.len(),
+        series.epoch_cycles,
+        result.ipc
+    );
+    println!(
+        "  {:>5} {:>9} {:>12} {:>7} {:>9} {:>9} {:>11} {:>11}",
+        "epoch", "cycles", "instrs", "ipc", "cc-hit%", "rowconf%", "dram p95", "fetch p95"
+    );
+    for sample in &series.samples {
+        let dram = &sample.stages[Stage::Dram as usize];
+        let fetch = &sample.stages[Stage::CounterFetch as usize];
+        println!(
+            "  {:>5} {:>9} {:>12} {:>7.3} {:>9.1} {:>9.1} {:>8.1} ns {:>8.1} ns",
+            sample.index,
+            sample.cycles,
+            sample.instructions,
+            sample.ipc(),
+            sample.counter_cache_hit_rate() * 100.0,
+            sample.row_conflict_rate() * 100.0,
+            ns(dram.p95_ps as f64),
+            ns(fetch.p95_ps as f64),
+        );
+    }
+    println!(
+        "\nipc min {:.3} / max {:.3} / last {:.3}; counter-cache hit rate (last epoch) {:.1}%",
+        series.ipc_min(),
+        series.ipc_max(),
+        series.ipc_last(),
+        series.counter_cache_hit_rate_last() * 100.0
+    );
+    if let Some(path) = &args.json {
+        if let Err(err) = std::fs::write(path, series.to_json(&label)) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return 1;
+        }
+        eprintln!("wrote epoch series to {}", path.display());
+    }
+    0
+}
+
+/// `clme profile --diff A B`: replay two cells and print per-stage and
+/// per-event deltas — the counter-mode vs counter-light argument as a
+/// table.
+fn run_diff_profile(args: &ProfileArgs, label_a: &str, label_b: &str) -> i32 {
+    let parse = |label: &str| {
+        parse_cell_label(label).unwrap_or_else(|| {
+            eprintln!(
+                "bad cell label {label:?} (want config/engine/bench, \
+                 e.g. table1/counter-mode/bfs)"
+            );
+            profile_usage()
+        })
+    };
+    let spec_a = parse(label_a);
+    let spec_b = parse(label_b);
+    let (label_a, _, result_a, rec_a) = record_cell(&spec_a, args.params, args.seed, args.ring);
+    let (label_b, _, result_b, rec_b) = record_cell(&spec_b, args.params, args.seed, args.ring);
+
+    println!("differential profile (measured windows):");
+    println!("  A = {label_a}  (ipc {:.3})", result_a.ipc);
+    println!("  B = {label_b}  (ipc {:.3})", result_b.ipc);
+
+    println!("\nper-stage latency (ns):");
+    println!(
+        "  {:<14} {:>10} {:>10} {:>10} {:>10} {:>11}",
+        "stage", "A samples", "A mean", "B samples", "B mean", "Δmean"
+    );
+    for stage in Stage::ALL {
+        let a = rec_a.stage(stage);
+        let b = rec_b.stage(stage);
+        if a.count() == 0 && b.count() == 0 {
+            continue;
+        }
+        let mean_a = if a.count() > 0 { ns(a.mean_ps()) } else { 0.0 };
+        let mean_b = if b.count() > 0 { ns(b.mean_ps()) } else { 0.0 };
+        println!(
+            "  {:<14} {:>10} {:>10.2} {:>10} {:>10.2} {:>+11.2}",
+            stage.name(),
+            a.count(),
+            mean_a,
+            b.count(),
+            mean_b,
+            mean_b - mean_a,
+        );
+    }
+
+    println!("\nevent counters:");
+    println!(
+        "  {:<24} {:>12} {:>12} {:>13}",
+        "event", "A", "B", "Δ"
+    );
+    for &kind in EventKind::ALL.iter() {
+        let a = rec_a.counters().get(kind);
+        let b = rec_b.counters().get(kind);
+        if a == 0 && b == 0 {
+            continue;
+        }
+        println!(
+            "  {:<24} {:>12} {:>12} {:>+13}",
+            kind.name(),
+            a,
+            b,
+            b as i128 - a as i128,
+        );
+    }
+    0
+}
+
 fn run_profile_command(args: &[String]) -> i32 {
     let args = parse_profile_args(args);
+    if let Some((a, b)) = args.diff.clone() {
+        return run_diff_profile(&args, &a, &b);
+    }
+    if args.series {
+        return run_series_profile(&args);
+    }
     let (label, wall, result, recorder) = run_profiled_cell(&args);
     println!("{result}\n");
     print_stage_table(&recorder);
@@ -581,6 +830,214 @@ fn run_profile_command(args: &[String]) -> i32 {
         eprintln!("wrote profile artifact to {}", path.display());
     }
     0
+}
+
+struct PerfArgs {
+    threads: usize,
+    seed: u64,
+    out: PathBuf,
+    baseline: PathBuf,
+    gate: f64,
+    write_baseline: bool,
+    no_gate: bool,
+}
+
+fn perf_usage() -> ! {
+    eprintln!(
+        "usage: clme perf [--threads N] [--seed HEX|DEC] [--out PATH]\n\
+         \x20               [--baseline PATH] [--gate FRACTION]\n\
+         \x20               [--write-baseline] [--no-gate]\n\
+         \n\
+         perf measures simulator throughput on a fixed calibrated cell set\n\
+         (8 tiny cells: 4 engines x {{bfs, canneal}} on table1), normalises\n\
+         cells/sec by a built-in spin-calibration loop so the score is\n\
+         machine-invariant, and writes BENCH_perf.json (default --out) with\n\
+         the measurement appended to the artifact's run history. When the\n\
+         baseline file (default goldens/perf_baseline.json) exists, the run\n\
+         fails if the normalised score regressed more than --gate (default\n\
+         15%). --write-baseline regenerates the baseline from this run;\n\
+         --no-gate measures and records without failing."
+    );
+    std::process::exit(2)
+}
+
+fn parse_perf_args(args: &[String]) -> PerfArgs {
+    let mut parsed = PerfArgs {
+        threads: std::thread::available_parallelism().map_or(4, usize::from).max(4),
+        seed: DEFAULT_MATRIX_SEED,
+        out: PathBuf::from("BENCH_perf.json"),
+        baseline: PathBuf::from("goldens/perf_baseline.json"),
+        gate: clme_bench::perf::DEFAULT_GATE,
+        write_baseline: false,
+        no_gate: false,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                perf_usage()
+            })
+        };
+        match flag.as_str() {
+            "--threads" => {
+                parsed.threads = value("--threads").parse().unwrap_or_else(|_| perf_usage())
+            }
+            "--seed" => {
+                let text = value("--seed");
+                parsed.seed = if let Some(hex) = text.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).unwrap_or_else(|_| perf_usage())
+                } else {
+                    text.parse().unwrap_or_else(|_| perf_usage())
+                }
+            }
+            "--out" => parsed.out = PathBuf::from(value("--out")),
+            "--baseline" => parsed.baseline = PathBuf::from(value("--baseline")),
+            "--gate" => parsed.gate = value("--gate").parse().unwrap_or_else(|_| perf_usage()),
+            "--write-baseline" => parsed.write_baseline = true,
+            "--no-gate" => parsed.no_gate = true,
+            "--help" | "-h" => perf_usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                perf_usage()
+            }
+        }
+    }
+    parsed
+}
+
+/// Per-stage ns/op of one profiled calibrated cell: how much host time
+/// the simulator spends per simulated stage event (plus the simulated
+/// mean for context). Rendered into `BENCH_perf.json`.
+fn perf_stage_json(wall: f64, rec: &clme_obs::Recorder) -> Vec<(String, JsonValue)> {
+    let wall_ns = wall * 1e9;
+    Stage::ALL
+        .iter()
+        .map(|&stage| {
+            let hist = rec.stage(stage);
+            let samples = hist.count();
+            let host = if samples > 0 { wall_ns / samples as f64 } else { 0.0 };
+            (
+                stage.name().to_string(),
+                JsonValue::Obj(vec![
+                    ("samples".into(), JsonValue::Num(samples as f64)),
+                    ("sim_mean_ns".into(), JsonValue::Num(ns(hist.mean_ps()))),
+                    ("host_ns_per_op".into(), JsonValue::Num(host)),
+                ]),
+            )
+        })
+        .collect()
+}
+
+fn run_perf_command(args: &[String]) -> i32 {
+    let args = parse_perf_args(args);
+    eprintln!(
+        "calibrating spin loop and running {} perf cells on {} threads (seed {:#x})",
+        clme_bench::perf::calibrated_matrix(args.seed).cells().len(),
+        args.threads,
+        args.seed
+    );
+    let measurement = if args.write_baseline {
+        // Baselines pin the gate floor for every future run: take the
+        // median of three measurements so host noise cannot pin an
+        // unrepresentatively fast (or slow) score.
+        eprintln!("baseline mode: taking the median of 3 measurements");
+        clme_bench::perf::measure_median(args.threads, args.seed, 3)
+    } else {
+        // The gate compares against that median, so estimate with the
+        // best of three: scheduler noise only ever slows a run down, and
+        // a real regression drags the best run down with the rest.
+        clme_bench::perf::measure_best(args.threads, args.seed, 3)
+    };
+    println!(
+        "perf: {:.3} cells/sec over {} cells ({:.2} s wall)",
+        measurement.cells_per_sec, measurement.cells, measurement.wall_seconds
+    );
+    println!(
+        "calibration: {:.3} ns/iter -> normalized score {:.4}",
+        measurement.spin_ns_per_iter, measurement.normalized_score
+    );
+
+    // One profiled cell for the per-stage ns/op breakdown.
+    let spec = CellSpec {
+        config_name: "table1".to_string(),
+        cfg: SystemConfig::isca_table1(),
+        engine: EngineKind::CounterLight,
+        bench: "bfs".to_string(),
+    };
+    let (_, stage_wall, _, recorder) =
+        record_cell(&spec, tiny_cell_params(), args.seed, clme_obs::DEFAULT_RING_CAPACITY);
+    let stages = perf_stage_json(stage_wall, &recorder);
+
+    let history = std::fs::read_to_string(&args.out)
+        .map(|text| clme_bench::perf::extract_history(&text))
+        .unwrap_or_default();
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    let artifact = clme_bench::perf::perf_json(&measurement, stages, history, unix_time);
+    if let Err(err) = std::fs::write(&args.out, artifact) {
+        eprintln!("cannot write {}: {err}", args.out.display());
+        return 1;
+    }
+    eprintln!("wrote perf artifact to {}", args.out.display());
+
+    if args.write_baseline {
+        if let Some(parent) = args.baseline.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let text = clme_bench::perf::baseline_json(&measurement);
+        if let Err(err) = std::fs::write(&args.baseline, text) {
+            eprintln!("cannot write {}: {err}", args.baseline.display());
+            return 1;
+        }
+        println!("wrote perf baseline to {}", args.baseline.display());
+        return 0;
+    }
+
+    match std::fs::read_to_string(&args.baseline) {
+        Err(_) => {
+            eprintln!(
+                "no baseline at {} — run clme perf --write-baseline to pin one",
+                args.baseline.display()
+            );
+            0
+        }
+        Ok(text) => match clme_bench::perf::parse_baseline(&text) {
+            Err(err) => {
+                eprintln!("bad baseline {}: {err}", args.baseline.display());
+                1
+            }
+            Ok(baseline) => {
+                println!(
+                    "baseline score {:.4} ({}); ratio {:.3}",
+                    baseline,
+                    args.baseline.display(),
+                    measurement.normalized_score / baseline
+                );
+                match clme_bench::perf::regression(
+                    baseline,
+                    measurement.normalized_score,
+                    args.gate,
+                ) {
+                    None => {
+                        println!("perf gate passed");
+                        0
+                    }
+                    Some(reason) => {
+                        println!("PERF REGRESSION: {reason}");
+                        if args.no_gate {
+                            println!("(--no-gate: not failing)");
+                            0
+                        } else {
+                            1
+                        }
+                    }
+                }
+            }
+        },
+    }
 }
 
 fn run_trace_command(args: &[String]) -> i32 {
@@ -616,6 +1073,7 @@ fn main() {
         Some("matrix") => std::process::exit(run_matrix_command(&all[1..])),
         Some("diff") => std::process::exit(run_diff_command(&all[1..])),
         Some("profile") => std::process::exit(run_profile_command(&all[1..])),
+        Some("perf") => std::process::exit(run_perf_command(&all[1..])),
         Some("trace") => std::process::exit(run_trace_command(&all[1..])),
         _ => {}
     }

@@ -6,6 +6,8 @@
 //! geometric means, and fixed-width table printing that mirrors the
 //! paper's rows.
 
+pub mod perf;
+
 use clme_core::engine::EngineKind;
 use clme_sim::{run_benchmark, SimParams, SimResult};
 use clme_types::SystemConfig;

@@ -158,6 +158,7 @@ impl EncryptionEngine for CounterLightEngine {
         dram: &mut Dram,
         obs: &mut dyn TraceSink,
     ) -> ReadMissOutcome {
+        obs.tick(issue);
         let data = dram.access_obs(block, AccessKind::Read, issue, obs);
         self.epoch.observe_access(issue);
         // EncryptionMetadata decodes from the parity once half the block
@@ -212,6 +213,7 @@ impl EncryptionEngine for CounterLightEngine {
         dram: &mut Dram,
         obs: &mut dyn TraceSink,
     ) -> Time {
+        obs.tick(issue);
         self.stats.prefetch_fills += 1;
         obs.count(EventKind::PrefetchFill);
         self.epoch.observe_access(issue);
@@ -226,6 +228,7 @@ impl EncryptionEngine for CounterLightEngine {
         dram: &mut Dram,
         obs: &mut dyn TraceSink,
     ) -> WritebackOutcome {
+        obs.tick(now);
         let data_done = dram.background_access_obs(block, AccessKind::Write, now, obs);
         self.epoch.observe_access(now);
         self.stats.writebacks += 1;

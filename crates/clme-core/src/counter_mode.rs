@@ -133,6 +133,7 @@ impl EncryptionEngine for CounterModeEngine {
         dram: &mut Dram,
         obs: &mut dyn TraceSink,
     ) -> ReadMissOutcome {
+        obs.tick(issue);
         let data = dram.access_obs(block, AccessKind::Read, issue, obs);
         let mut counter_known = None;
         let mut ready = data.arrival + self.ecc_check;
@@ -200,6 +201,7 @@ impl EncryptionEngine for CounterModeEngine {
         dram: &mut Dram,
         obs: &mut dyn TraceSink,
     ) -> Time {
+        obs.tick(issue);
         self.stats.prefetch_fills += 1;
         obs.count(EventKind::PrefetchFill);
         let arrival = dram.background_access_obs(block, AccessKind::Read, issue, obs);
@@ -225,6 +227,7 @@ impl EncryptionEngine for CounterModeEngine {
         dram: &mut Dram,
         obs: &mut dyn TraceSink,
     ) -> WritebackOutcome {
+        obs.tick(now);
         let data_done = dram.background_access_obs(block, AccessKind::Write, now, obs);
         let mut completion = data_done;
         if self.mode_cfg.writeback_metadata && block.raw() < self.metadata.layout().data_blocks() {

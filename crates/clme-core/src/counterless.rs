@@ -60,6 +60,7 @@ impl EncryptionEngine for CounterlessEngine {
         dram: &mut Dram,
         obs: &mut dyn TraceSink,
     ) -> ReadMissOutcome {
+        obs.tick(issue);
         let access = dram.access_obs(block, AccessKind::Read, issue, obs);
         // The data-dependent AES starts at arrival; the MAC/ECC check
         // completes after it.
@@ -88,6 +89,7 @@ impl EncryptionEngine for CounterlessEngine {
         dram: &mut Dram,
         obs: &mut dyn TraceSink,
     ) -> Time {
+        obs.tick(issue);
         self.stats.prefetch_fills += 1;
         obs.count(EventKind::PrefetchFill);
         // Decryption happens off the critical path; only the transfer
@@ -102,6 +104,7 @@ impl EncryptionEngine for CounterlessEngine {
         dram: &mut Dram,
         obs: &mut dyn TraceSink,
     ) -> WritebackOutcome {
+        obs.tick(now);
         let completion = dram.background_access_obs(block, AccessKind::Write, now, obs);
         self.stats.writebacks += 1;
         self.stats.counterless_writebacks += 1;

@@ -54,6 +54,7 @@ impl EncryptionEngine for NoEncryptionEngine {
         dram: &mut Dram,
         obs: &mut dyn TraceSink,
     ) -> ReadMissOutcome {
+        obs.tick(issue);
         let access = dram.access_obs(block, AccessKind::Read, issue, obs);
         let ready = access.arrival + self.ecc_check;
         self.stats.read_misses += 1;
@@ -78,6 +79,7 @@ impl EncryptionEngine for NoEncryptionEngine {
         dram: &mut Dram,
         obs: &mut dyn TraceSink,
     ) -> Time {
+        obs.tick(issue);
         self.stats.prefetch_fills += 1;
         obs.count(EventKind::PrefetchFill);
         dram.background_access_obs(block, AccessKind::Read, issue, obs)
@@ -90,6 +92,7 @@ impl EncryptionEngine for NoEncryptionEngine {
         dram: &mut Dram,
         obs: &mut dyn TraceSink,
     ) -> WritebackOutcome {
+        obs.tick(now);
         let completion = dram.background_access_obs(block, AccessKind::Write, now, obs);
         self.stats.writebacks += 1;
         obs.count(EventKind::Writeback);

@@ -214,6 +214,7 @@ impl Dram {
         at: Time,
         obs: &mut dyn TraceSink,
     ) -> DramAccess {
+        obs.tick(at);
         let coord = self.mapping.coord(block);
         self.housekeeping(at);
         let bank_index = (coord.channel * self.mapping.banks_per_channel() + coord.bank) as usize;
@@ -288,6 +289,7 @@ impl Dram {
         at: Time,
         obs: &mut dyn TraceSink,
     ) -> Time {
+        obs.tick(at);
         let coord = self.mapping.coord(block);
         self.housekeeping(at);
         let bus_start = self.bus_busy[coord.channel as usize].reserve(at, self.transfer);

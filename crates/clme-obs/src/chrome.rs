@@ -147,4 +147,82 @@ mod tests {
     fn output_is_deterministic() {
         assert_eq!(chrome_trace_json(&sample_ring()), chrome_trace_json(&sample_ring()));
     }
+
+    #[test]
+    fn every_event_and_component_name_round_trips() {
+        // Exercise the full export path with every name the exporter can
+        // emit: each event kind on each component. If anyone later adds a
+        // name containing a quote, backslash, or control character, this
+        // catches any mismatch between the writer's escaping and the
+        // parser's unescaping.
+        let mut ring = TraceRing::new(Component::ALL.len() * EventKind::ALL.len());
+        for (i, &component) in Component::ALL.iter().enumerate() {
+            for (j, &event) in EventKind::ALL.iter().enumerate() {
+                ring.push(TraceEvent {
+                    at: Time::from_picos(((i * EventKind::ALL.len() + j) as u64 + 1) * 1_000),
+                    component,
+                    event,
+                    addr: 0x40 * j as u64,
+                    latency: TimeDelta::from_ns(1),
+                });
+            }
+        }
+        let json = chrome_trace_json(&ring);
+        let doc = clme_types::json::parse(&json).expect("trace with every name must parse");
+        let events = match doc.get("traceEvents") {
+            Some(JsonValue::Arr(items)) => items,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+            .filter_map(|e| e.get("name").and_then(|v| v.as_str()))
+            .collect();
+        assert_eq!(names.len(), Component::ALL.len() * EventKind::ALL.len());
+        for &event in EventKind::ALL.iter() {
+            assert!(names.contains(&event.name()), "{} lost in export", event.name());
+        }
+    }
+
+    #[test]
+    fn hostile_names_are_escaped_not_leaked() {
+        // The exporter builds its documents from JsonValue, so a hostile
+        // track name (quotes, backslashes, control characters) must come
+        // out escaped, exactly as the thread_name metadata events are
+        // built in chrome_trace_json.
+        let hostile = "dram \"bank\"\\row\n\u{1}track";
+        let meta = JsonValue::Obj(vec![
+            ("ph".into(), JsonValue::Str("M".into())),
+            ("pid".into(), JsonValue::Num(TRACE_PID)),
+            ("tid".into(), JsonValue::Num(0.0)),
+            ("name".into(), JsonValue::Str("thread_name".into())),
+            (
+                "args".into(),
+                JsonValue::Obj(vec![("name".into(), JsonValue::Str(hostile.into()))]),
+            ),
+        ]);
+        let doc = JsonValue::Obj(vec![(
+            "traceEvents".into(),
+            JsonValue::Arr(vec![meta]),
+        )]);
+        let text = doc.to_pretty();
+        assert!(
+            text.bytes().all(|b| b >= 0x20 || b == b'\n'),
+            "raw control bytes leaked into the trace: {text:?}"
+        );
+        assert!(text.contains(r#"\"bank\""#), "quotes must be escaped");
+        assert!(text.contains(r#"\\row"#), "backslashes must be escaped");
+        assert!(text.contains(r#"\u0001"#), "control chars must be \\u-escaped");
+        let parsed = clme_types::json::parse(&text).expect("hostile trace must still parse");
+        let round_tripped = parsed
+            .get("traceEvents")
+            .and_then(|e| match e {
+                JsonValue::Arr(items) => items.first(),
+                _ => None,
+            })
+            .and_then(|e| e.get("args"))
+            .and_then(|a| a.get("name"))
+            .and_then(|v| v.as_str());
+        assert_eq!(round_tripped, Some(hostile));
+    }
 }

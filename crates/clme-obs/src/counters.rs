@@ -220,6 +220,22 @@ impl EventCounters {
             .map(|&k| (k, self.get(k)))
             .filter(|&(_, n)| n > 0)
     }
+
+    /// The counts accumulated since `baseline` was cloned off this bank
+    /// (per-kind subtraction). Used by the epoch sampler to turn the
+    /// cumulative bank into per-epoch deltas.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via arithmetic underflow) if `baseline` is not an earlier
+    /// state of `self`.
+    pub fn delta_since(&self, baseline: &EventCounters) -> EventCounters {
+        let mut counts = [0u64; EVENT_KINDS];
+        for (i, slot) in counts.iter_mut().enumerate() {
+            *slot = self.counts[i] - baseline.counts[i];
+        }
+        EventCounters { counts }
+    }
 }
 
 #[cfg(test)]

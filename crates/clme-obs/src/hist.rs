@@ -122,7 +122,14 @@ impl Log2Histogram {
         for i in 0..LOG2_BUCKETS {
             seen += self.counts[i];
             if seen >= target {
-                return Self::bucket_hi_ps(i).saturating_sub(1).min(self.max_ps);
+                // The top bucket's bound is already saturated (inclusive);
+                // subtracting 1 there would under-report a u64::MAX sample.
+                let bound = if i == LOG2_BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    Self::bucket_hi_ps(i) - 1
+                };
+                return bound.min(self.max_ps);
             }
         }
         self.max_ps
@@ -131,6 +138,43 @@ impl Log2Histogram {
     /// Resets all buckets to empty.
     pub fn clear(&mut self) {
         *self = Log2Histogram::new();
+    }
+
+    /// The histogram of samples recorded since `baseline` was cloned off
+    /// this histogram: per-bucket count differences plus exact total/sum
+    /// differences. Used by the epoch sampler to turn a cumulative
+    /// histogram into per-epoch deltas without a second record path.
+    ///
+    /// The delta's maximum is exact when the global maximum moved inside
+    /// the delta window; otherwise it is the tightest bucket upper bound,
+    /// clamped to the cumulative maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, via arithmetic underflow) if `baseline`
+    /// is not an earlier state of `self`.
+    pub fn delta_since(&self, baseline: &Log2Histogram) -> Log2Histogram {
+        let mut counts = [0u64; LOG2_BUCKETS];
+        let mut highest = None;
+        for i in 0..LOG2_BUCKETS {
+            counts[i] = self.counts[i] - baseline.counts[i];
+            if counts[i] > 0 {
+                highest = Some(i);
+            }
+        }
+        let max_ps = if self.max_ps > baseline.max_ps {
+            self.max_ps
+        } else {
+            highest
+                .map(|i| Self::bucket_hi_ps(i).saturating_sub(1).min(self.max_ps))
+                .unwrap_or(0)
+        };
+        Log2Histogram {
+            counts,
+            total: self.total - baseline.total,
+            sum_ps: self.sum_ps - baseline.sum_ps,
+            max_ps,
+        }
     }
 }
 
@@ -194,6 +238,89 @@ mod tests {
         assert!(p99 <= h.max_ps());
         assert_eq!(h.percentile_ps(1.0), h.max_ps());
         assert_eq!(Log2Histogram::new().percentile_ps(0.5), 0);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_bucket_zero_only() {
+        let mut h = Log2Histogram::new();
+        h.record(TimeDelta::ZERO);
+        h.record(TimeDelta::ZERO);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket_count(0), 2);
+        for i in 1..LOG2_BUCKETS {
+            assert_eq!(h.bucket_count(i), 0, "bucket {i} must stay empty");
+        }
+        assert_eq!(h.mean_ps(), 0.0);
+        assert_eq!(h.max_ps(), 0);
+        // Every percentile of an all-zero histogram is zero.
+        for p in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.percentile_ps(p), 0);
+        }
+    }
+
+    #[test]
+    fn u64_max_saturates_into_the_top_bucket() {
+        let mut h = Log2Histogram::new();
+        h.record(TimeDelta::from_picos(u64::MAX));
+        h.record(TimeDelta::from_picos(u64::MAX - 1));
+        h.record(TimeDelta::from_picos(1u64 << 63));
+        assert_eq!(h.bucket_count(LOG2_BUCKETS - 1), 3);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max_ps(), u64::MAX);
+        // The exact sum survives in the u128 accumulator (no wrap).
+        let expected = u64::MAX as u128 + (u64::MAX - 1) as u128 + (1u128 << 63);
+        assert!((h.mean_ps() - expected as f64 / 3.0).abs() / h.mean_ps() < 1e-12);
+        // Percentiles clamp to the observed maximum, not the bucket bound.
+        assert_eq!(h.percentile_ps(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn single_sample_percentiles_return_that_sample() {
+        // A one-sample histogram has only one defensible answer for any
+        // percentile: the sample itself. The bucket upper bound is
+        // clamped to the observed maximum, which for a single sample is
+        // exact at every p.
+        for ps in [1u64, 3, 1000, 13_750, u64::MAX] {
+            let mut h = Log2Histogram::new();
+            h.record(TimeDelta::from_picos(ps));
+            for p in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+                assert_eq!(h.percentile_ps(p), ps, "p={p} of single sample {ps}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_since_subtracts_buckets_and_sums() {
+        let mut h = Log2Histogram::new();
+        h.record(TimeDelta::from_picos(3));
+        h.record(TimeDelta::from_picos(100));
+        let baseline = h.clone();
+        h.record(TimeDelta::from_picos(5));
+        h.record(TimeDelta::from_picos(1000));
+        let delta = h.delta_since(&baseline);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.bucket_count(3), 1); // 5 in [4, 8)
+        assert_eq!(delta.bucket_count(10), 1); // 1000 in [512, 1024)
+        assert_eq!(delta.mean_ps(), (5 + 1000) as f64 / 2.0);
+        // 1000 raised the global max inside the window: exact.
+        assert_eq!(delta.max_ps(), 1000);
+        // A quiet window deltas to an empty histogram.
+        let quiet = h.delta_since(&h.clone());
+        assert_eq!(quiet.count(), 0);
+        assert_eq!(quiet.max_ps(), 0);
+    }
+
+    #[test]
+    fn delta_since_bounds_max_when_global_max_is_stale() {
+        let mut h = Log2Histogram::new();
+        h.record(TimeDelta::from_picos(1_000_000)); // sets the global max
+        let baseline = h.clone();
+        h.record(TimeDelta::from_picos(70)); // in [64, 128)
+        let delta = h.delta_since(&baseline);
+        assert_eq!(delta.count(), 1);
+        // True epoch max (70) is unknowable from buckets; the bound is
+        // the bucket's upper edge, clamped below the cumulative max.
+        assert_eq!(delta.max_ps(), 127);
     }
 
     #[test]

@@ -28,10 +28,14 @@ pub mod chrome;
 pub mod counters;
 pub mod hist;
 pub mod ring;
+pub mod series;
 pub mod sink;
 
 pub use chrome::chrome_trace_json;
 pub use counters::{Component, EventCounters, EventKind};
 pub use hist::Log2Histogram;
 pub use ring::{TraceEvent, TraceRing};
+pub use series::{
+    EpochSample, EpochSeries, SeriesRecorder, StageSample, DEFAULT_EPOCH_CYCLES,
+};
 pub use sink::{NopSink, Recorder, Stage, TraceSink, DEFAULT_RING_CAPACITY, STAGES};

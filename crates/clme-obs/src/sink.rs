@@ -90,6 +90,18 @@ pub trait TraceSink: Any {
     /// A latency sample attributed to a pipeline stage.
     fn latency(&mut self, _stage: Stage, _latency: TimeDelta) {}
 
+    /// Simulated time has progressed to (at least) `now`. The machine
+    /// calls this once per executed op and the engines/DRAM call it on
+    /// their `_obs` entry points, so time-resolved sinks (the epoch
+    /// sampler) can flush epoch boundaries promptly even while a single
+    /// long op is in flight. Sinks must tolerate non-monotonic calls:
+    /// component-local timestamps can trail the global maximum.
+    fn tick(&mut self, _now: Time) {}
+
+    /// `instructions` more instructions retired (the machine calls this
+    /// once per executed op with that op's retirement count).
+    fn retire(&mut self, _instructions: u64) {}
+
     /// A measurement boundary (e.g. warm-up finished): accumulating
     /// sinks clear here so reports cover only the measured window.
     fn window_reset(&mut self) {}

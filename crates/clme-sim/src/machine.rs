@@ -125,6 +125,9 @@ impl Machine {
 
     /// Executes one workload op on `core_idx`.
     fn step(&mut self, core_idx: usize) {
+        // The scheduler always steps the lagging core, so its cursor is
+        // the global simulation frontier: tick epoch boundaries here.
+        self.obs.tick(self.cores[core_idx].now());
         let stall_before = if self.obs.enabled() {
             Some((self.cores[core_idx].rob_stall(), self.cores[core_idx].now()))
         } else {
@@ -132,11 +135,15 @@ impl Machine {
         };
         let op = self.workloads[core_idx].next_op();
         match op {
-            Op::Compute { n } => self.cores[core_idx].do_compute(n),
+            Op::Compute { n } => {
+                self.cores[core_idx].do_compute(n);
+                self.obs.retire(u64::from(n));
+            }
             Op::Load { addr, dependent } => {
                 let issue = self.cores[core_idx].begin_mem(dependent);
                 let completion = self.memory_access(core_idx, addr.block().raw(), false, issue);
                 self.cores[core_idx].complete_mem(completion, true);
+                self.obs.retire(1);
             }
             Op::Store { addr } => {
                 let issue = self.cores[core_idx].begin_mem(false);
@@ -145,6 +152,7 @@ impl Machine {
                 self.memory_access(core_idx, addr.block().raw(), true, issue);
                 let completion = issue + self.l1_latency;
                 self.cores[core_idx].complete_mem(completion, false);
+                self.obs.retire(1);
             }
         }
         // Attribute any dispatch time this op lost to a full ROB.

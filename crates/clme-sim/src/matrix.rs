@@ -11,8 +11,9 @@
 //! enumeration order — byte-identical no matter how many threads ran it.
 
 use crate::report::StatsSnapshot;
-use crate::run::{run_benchmark_seeded, run_benchmark_seeded_reusing, MachineArena, SimParams};
+use crate::run::{run_benchmark_series, run_benchmark_series_reusing, MachineArena, SimParams};
 use clme_core::engine::EngineKind;
+use clme_obs::DEFAULT_EPOCH_CYCLES;
 use clme_types::rng::SplitMix64;
 use clme_types::SystemConfig;
 use std::collections::HashMap;
@@ -200,27 +201,37 @@ impl RunMatrix {
     }
 
     /// Runs a single cell synchronously with freshly-allocated machine
-    /// state.
+    /// state. Every matrix cell runs under a
+    /// [`SeriesRecorder`](clme_obs::SeriesRecorder), so its snapshot
+    /// carries the `series.*` epoch summary; sinks never perturb timing,
+    /// so the remaining metrics equal an unobserved run's.
     pub fn run_cell(&self, cell: &MatrixCell) -> StatsSnapshot {
         let seed = self.cell_seed(cell);
-        let result =
-            run_benchmark_seeded(&cell.config, cell.engine, &cell.bench, self.params, seed);
-        StatsSnapshot::capture(&result, &cell.config_name, seed)
+        let (result, series) = run_benchmark_series(
+            &cell.config,
+            cell.engine,
+            &cell.bench,
+            self.params,
+            seed,
+            DEFAULT_EPOCH_CYCLES,
+        );
+        StatsSnapshot::capture_with_series(&result, &cell.config_name, seed, &series)
     }
 
     /// Runs a single cell reusing `arena`'s machine allocations. The
     /// arena must only ever see cells of one configuration.
     pub fn run_cell_reusing(&self, cell: &MatrixCell, arena: &mut MachineArena) -> StatsSnapshot {
         let seed = self.cell_seed(cell);
-        let result = run_benchmark_seeded_reusing(
+        let (result, series) = run_benchmark_series_reusing(
             &cell.config,
             cell.engine,
             &cell.bench,
             self.params,
             seed,
+            DEFAULT_EPOCH_CYCLES,
             arena,
         );
-        StatsSnapshot::capture(&result, &cell.config_name, seed)
+        StatsSnapshot::capture_with_series(&result, &cell.config_name, seed, &series)
     }
 }
 

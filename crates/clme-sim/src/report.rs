@@ -16,8 +16,11 @@ use clme_types::json::{self, JsonValue};
 ///
 /// v2 added the per-core breakdown (`core<i>.ipc`,
 /// `core<i>.rob_stall_ns`, `core<i>.rob_stall_events`) and the engine
-/// counter-cache hit-rate metrics.
-pub const SNAPSHOT_SCHEMA: u64 = 2;
+/// counter-cache hit-rate metrics. v3 added the epoch time-series
+/// summary (`series.*`): matrix cells now run under a
+/// [`SeriesRecorder`](clme_obs::SeriesRecorder) and report per-epoch
+/// IPC extremes plus warmup-endpoint cache/row-buffer rates.
+pub const SNAPSHOT_SCHEMA: u64 = 3;
 
 /// All statistics of one (config × engine × benchmark) cell, flattened
 /// to ordered `(metric, value)` pairs.
@@ -91,6 +94,33 @@ impl StatsSnapshot {
             seed,
             metrics,
         }
+    }
+
+    /// [`StatsSnapshot::capture`] plus the epoch-series summary metrics
+    /// (`series.*`) out of the run's sampled time-series.
+    pub fn capture_with_series(
+        result: &SimResult,
+        config: &str,
+        seed: u64,
+        series: &clme_obs::EpochSeries,
+    ) -> StatsSnapshot {
+        let mut snapshot = StatsSnapshot::capture(result, config, seed);
+        let mut push =
+            |name: &str, value: f64| snapshot.metrics.push((name.to_string(), value));
+        push("series.epoch_cycles", series.epoch_cycles as f64);
+        push("series.epochs", series.len() as f64);
+        push("series.ipc_min", series.ipc_min());
+        push("series.ipc_max", series.ipc_max());
+        push("series.ipc_last", series.ipc_last());
+        push(
+            "series.counter_cache_hit_rate_last",
+            series.counter_cache_hit_rate_last(),
+        );
+        push(
+            "series.row_conflict_rate_mean",
+            series.row_conflict_rate_mean(),
+        );
+        snapshot
     }
 
     /// The cell's stable label, `config/engine/benchmark`.
@@ -281,6 +311,33 @@ mod tests {
     }
 
     #[test]
+    fn capture_with_series_appends_series_metrics() {
+        let params = SimParams {
+            functional_warmup_accesses: 2_000,
+            warmup_per_core: 1_000,
+            measure_per_core: 5_000,
+        };
+        let cfg = SystemConfig::isca_table1();
+        let (result, series) = crate::run::run_benchmark_series(
+            &cfg,
+            EngineKind::CounterMode,
+            "bfs",
+            params,
+            11,
+            clme_obs::DEFAULT_EPOCH_CYCLES,
+        );
+        let snap = StatsSnapshot::capture_with_series(&result, "table1", 11, &series);
+        assert_eq!(snap.metric("series.epochs"), Some(series.len() as f64));
+        assert!(snap.metric("series.ipc_max").unwrap() > 0.0);
+        assert!(snap.metric("series.ipc_min").unwrap() <= snap.metric("series.ipc_max").unwrap());
+        assert!(snap.metric("series.counter_cache_hit_rate_last").is_some());
+        assert!(snap.metric("series.row_conflict_rate_mean").is_some());
+        // The plain metrics come first and are unchanged by the series.
+        let plain = StatsSnapshot::capture(&result, "table1", 11);
+        assert_eq!(snap.metrics[..plain.metrics.len()], plain.metrics[..]);
+    }
+
+    #[test]
     fn json_round_trips_exactly() {
         let snap = snapshot();
         let text = snap.to_json();
@@ -337,7 +394,7 @@ mod tests {
 
     #[test]
     fn schema_mismatch_is_rejected() {
-        let text = snapshot().to_json().replace("\"schema\": 2", "\"schema\": 999");
+        let text = snapshot().to_json().replace("\"schema\": 3", "\"schema\": 999");
         assert!(StatsSnapshot::from_json(&text).is_err());
     }
 }

@@ -6,7 +6,7 @@ use clme_cache::hierarchy::MemorySystemCaches;
 use clme_core::build_engine;
 use clme_core::engine::{EncryptionEngine, EngineKind};
 use clme_dram::timing::Dram;
-use clme_obs::Recorder;
+use clme_obs::{EpochSeries, Recorder, SeriesRecorder};
 use clme_types::config::SystemConfig;
 use clme_workloads::suites;
 
@@ -168,6 +168,57 @@ pub fn run_benchmark_recorded(
     (result, *recorder)
 }
 
+/// [`run_benchmark_seeded`] with a [`SeriesRecorder`] installed: returns
+/// the result plus the epoch time-series sampled every `epoch_cycles`
+/// core cycles of the measured window (pass
+/// [`clme_obs::DEFAULT_EPOCH_CYCLES`] unless the caller has a reason to
+/// resample).
+pub fn run_benchmark_series(
+    cfg: &SystemConfig,
+    kind: EngineKind,
+    bench: &str,
+    params: SimParams,
+    seed: u64,
+    epoch_cycles: u64,
+) -> (SimResult, EpochSeries) {
+    let mut arena = MachineArena::new();
+    run_benchmark_series_reusing(cfg, kind, bench, params, seed, epoch_cycles, &mut arena)
+}
+
+/// [`run_benchmark_series`] reusing (and refilling) `arena`'s machine
+/// parts. The arena must only ever be used with one configuration.
+pub fn run_benchmark_series_reusing(
+    cfg: &SystemConfig,
+    kind: EngineKind,
+    bench: &str,
+    params: SimParams,
+    seed: u64,
+    epoch_cycles: u64,
+    arena: &mut MachineArena,
+) -> (SimResult, EpochSeries) {
+    let engine = build_engine(kind, cfg, suites::address_space_blocks());
+    let workloads = (0..cfg.cores)
+        .map(|c| suites::instantiate_seeded(bench, c, seed))
+        .collect();
+    let mut machine = match arena.parts.take() {
+        Some((caches, dram)) => Machine::from_parts(cfg.clone(), engine, workloads, caches, dram),
+        None => Machine::new(cfg.clone(), engine, workloads),
+    };
+    machine.set_sink(Box::new(SeriesRecorder::new(
+        epoch_cycles,
+        cfg.core_period(),
+    )));
+    machine.functional_warmup(params.functional_warmup_accesses);
+    let result = machine.run(params.warmup_per_core, params.measure_per_core);
+    let recorder = machine
+        .take_sink()
+        .into_any()
+        .downcast::<SeriesRecorder>()
+        .expect("the sink installed above is a SeriesRecorder");
+    arena.parts = Some(machine.into_parts());
+    (result, recorder.into_series())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +234,26 @@ mod tests {
     #[test]
     fn params_presets_ordered() {
         assert!(SimParams::quick().measure_per_core < SimParams::evaluation().measure_per_core);
+    }
+
+    #[test]
+    fn series_run_matches_plain_run_and_samples_epochs() {
+        let cfg = SystemConfig::isca_table1();
+        let plain = run_benchmark_seeded(&cfg, EngineKind::CounterMode, "bfs", SimParams::quick(), 7);
+        let (result, series) = run_benchmark_series(
+            &cfg,
+            EngineKind::CounterMode,
+            "bfs",
+            SimParams::quick(),
+            7,
+            clme_obs::DEFAULT_EPOCH_CYCLES,
+        );
+        // Observation must not perturb the simulation.
+        assert_eq!(result.elapsed, plain.elapsed);
+        assert_eq!(result.instructions, plain.instructions);
+        assert!(!series.is_empty(), "a quick window spans several epochs");
+        let total: u64 = series.samples.iter().map(|s| s.instructions).sum();
+        assert_eq!(total, result.instructions, "epochs partition the window");
+        assert!(series.ipc_max() > 0.0);
     }
 }

@@ -407,6 +407,46 @@ mod tests {
     }
 
     #[test]
+    fn hostile_strings_escape_exactly() {
+        let mut s = String::new();
+        write_string(&mut s, "say \"hi\"");
+        assert_eq!(s, r#""say \"hi\"""#);
+        s.clear();
+        write_string(&mut s, "back\\slash");
+        assert_eq!(s, r#""back\\slash""#);
+        s.clear();
+        write_string(&mut s, "bell\u{7}null\u{0}esc\u{1b}");
+        assert_eq!(s, "\"bell\\u0007null\\u0000esc\\u001b\"");
+        s.clear();
+        // Multi-byte characters pass through unescaped (JSON is UTF-8).
+        write_string(&mut s, "µops \u{1F600}");
+        assert_eq!(s, "\"µops \u{1F600}\"");
+    }
+
+    #[test]
+    fn every_control_char_round_trips() {
+        let hostile: String = (0u32..0x20)
+            .map(|c| char::from_u32(c).unwrap())
+            .chain("\"\\/\u{7f}".chars())
+            .collect();
+        let v = JsonValue::Str(hostile.clone());
+        let text = v.to_pretty();
+        // No raw control bytes may survive into the emitted text.
+        assert!(
+            text.bytes().all(|b| b >= 0x20),
+            "emitted JSON leaks raw control bytes: {text:?}"
+        );
+        assert_eq!(parse(&text).unwrap(), v);
+        // Keys are strings too: the same escaping must apply there.
+        let keyed = JsonValue::Obj(vec![(hostile.clone(), JsonValue::Num(1.0))]);
+        let text = keyed.to_pretty();
+        // The pretty-printer's own layout newlines are fine; escaped
+        // content must not reintroduce any other control byte.
+        assert!(text.bytes().all(|b| b >= 0x20 || b == b'\n'));
+        assert_eq!(parse(&text).unwrap(), keyed);
+    }
+
+    #[test]
     fn get_and_accessors() {
         let v = obj(vec![("x", JsonValue::Num(3.0)), ("s", JsonValue::Str("hi".into()))]);
         assert_eq!(v.get("x").and_then(JsonValue::as_f64), Some(3.0));

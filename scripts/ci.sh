@@ -19,4 +19,15 @@ cargo run --release -q --offline -p clme-bench --bin clme -- \
     profile --engine counter-light --bench bfs --json BENCH_profile.json
 grep -o '"cells_per_sec": [0-9.]*' BENCH_profile.json
 
+echo "== perf gate (machine-normalised, 15% regression budget) =="
+# Appends this run's cells/sec to the BENCH_perf.json history and fails
+# when the normalized score drops >15% below goldens/perf_baseline.json.
+cargo run --release -q --offline -p clme-bench --bin clme -- perf
+
+if [[ "${CI_FULL_GRID:-0}" == "1" ]]; then
+    echo "== golden diff (full 72-cell grid) =="
+    cargo run --release -q --offline -p clme-bench --bin clme -- \
+        diff --golden goldens/full
+fi
+
 echo "ci: all green"

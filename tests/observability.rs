@@ -3,9 +3,10 @@
 //! deterministic, and the Chrome export must be well-formed.
 
 use clme::core::engine::EngineKind;
-use clme::obs::Stage;
+use clme::obs::{EventKind, Stage, DEFAULT_EPOCH_CYCLES};
 use clme::sim::{
-    run_benchmark_recorded, run_benchmark_seeded, RunMatrix, SimParams, StatsSnapshot,
+    run_benchmark_recorded, run_benchmark_seeded, run_benchmark_series,
+    run_benchmark_series_reusing, MachineArena, RunMatrix, SimParams, StatsSnapshot,
 };
 use clme::types::json::{parse, JsonValue};
 use clme::types::SystemConfig;
@@ -92,6 +93,89 @@ fn chrome_trace_is_wellformed() {
         };
         assert!(ph == "M" || ph == "X", "unexpected phase {ph}");
     }
+}
+
+/// The epoch series behind `clme profile --series` must be byte-stable:
+/// two fresh runs and an arena-reusing run (the path the threaded matrix
+/// workers take) must all emit identical JSON, and attaching the series
+/// recorder must not perturb the simulation itself.
+#[test]
+fn epoch_series_is_deterministic_across_run_paths() {
+    let cfg = SystemConfig::isca_table1();
+    let kind = EngineKind::CounterLight;
+    let plain_result = run_benchmark_seeded(&cfg, kind, "bfs", params(), SEED);
+    let (res_a, series_a) =
+        run_benchmark_series(&cfg, kind, "bfs", params(), SEED, DEFAULT_EPOCH_CYCLES);
+    let (res_b, series_b) =
+        run_benchmark_series(&cfg, kind, "bfs", params(), SEED, DEFAULT_EPOCH_CYCLES);
+    let mut arena = MachineArena::default();
+    let (res_c, series_c) = run_benchmark_series_reusing(
+        &cfg,
+        kind,
+        "bfs",
+        params(),
+        SEED,
+        DEFAULT_EPOCH_CYCLES,
+        &mut arena,
+    );
+    // Reuse the warm arena once more: recycled buffers must not leak
+    // state into the next cell's series.
+    let (_, series_d) = run_benchmark_series_reusing(
+        &cfg,
+        kind,
+        "bfs",
+        params(),
+        SEED,
+        DEFAULT_EPOCH_CYCLES,
+        &mut arena,
+    );
+    let json_a = series_a.to_json("table1/counter-light/bfs");
+    assert_eq!(json_a, series_b.to_json("table1/counter-light/bfs"));
+    assert_eq!(json_a, series_c.to_json("table1/counter-light/bfs"));
+    assert_eq!(json_a, series_d.to_json("table1/counter-light/bfs"));
+    assert!(!series_a.is_empty(), "a real run must produce epochs");
+    // Observing the series must not change the simulation.
+    assert_eq!(plain_result.elapsed, res_a.elapsed);
+    assert_eq!(res_a.elapsed, res_b.elapsed);
+    assert_eq!(res_a.elapsed, res_c.elapsed);
+}
+
+/// The stage gap `clme profile --diff` reports: counter-mode pays for
+/// counter fetches on the metadata path while counter-light's in-ECC
+/// metadata makes every one of those events structurally impossible.
+#[test]
+fn diff_reproduces_the_counter_fetch_gap() {
+    let cfg = SystemConfig::isca_table1();
+    let (_, mode_rec) =
+        run_benchmark_recorded(&cfg, EngineKind::CounterMode, "bfs", params(), SEED, 1 << 12);
+    let (_, light_rec) =
+        run_benchmark_recorded(&cfg, EngineKind::CounterLight, "bfs", params(), SEED, 1 << 12);
+    for kind in [
+        EventKind::CounterFetchStart,
+        EventKind::CounterCacheHit,
+        EventKind::CounterLate,
+    ] {
+        assert!(
+            mode_rec.counters().get(kind) > 0,
+            "counter-mode must exercise {}",
+            kind.name()
+        );
+        assert_eq!(
+            light_rec.counters().get(kind),
+            0,
+            "counter-light must never emit {}",
+            kind.name()
+        );
+    }
+    // The dedicated-counter fetch path also inflates counter-mode's
+    // engine-stage latency relative to counter-light.
+    let mode_engine = mode_rec.stage(Stage::Engine).mean_ps();
+    let light_engine = light_rec.stage(Stage::Engine).mean_ps();
+    assert!(
+        mode_engine > light_engine,
+        "expected counter-mode engine stage ({mode_engine} ps) above \
+         counter-light ({light_engine} ps)"
+    );
 }
 
 /// `--filter` must not change what the surviving cells compute, and the
