@@ -38,6 +38,25 @@
 //! `trace_event` JSON — open it in Perfetto
 //! (<https://ui.perfetto.dev>) or `about:tracing`.
 //!
+//! Critical-path attribution: one cell with the span tracer installed —
+//! every LLC miss becomes a request span, its dependent operations
+//! (data DRAM access, per-level counter fetch, in-line MAC, pad, ECC
+//! decode) become child spans, and each miss is blamed on the chain
+//! that gated readiness:
+//!
+//! ```text
+//! clme critpath table1/counter-mode/bfs [--json blame.json] [--trace spans.json]
+//! ```
+//!
+//! Phase-aligned cross-cell series: every (config × benchmark) group of
+//! the grid replayed under all four engines with a *shared*,
+//! engine-independent workload seed, so epoch k covers the same program
+//! phase in each engine's column:
+//!
+//! ```text
+//! clme series --matrix [--tiny] [--json aligned.json]
+//! ```
+//!
 //! Performance gate: `clme perf` runs a fixed calibrated cell set,
 //! normalises cells/sec by a built-in spin-calibration loop, writes
 //! `BENCH_perf.json` (with history), and compares against
@@ -51,11 +70,11 @@
 //! See EXPERIMENTS.md for the snapshot format and the golden workflow.
 
 use clme_core::engine::EngineKind;
-use clme_obs::{EventKind, Log2Histogram, Stage};
+use clme_obs::{span_flow_json, Blame, EpochSeries, EventKind, Log2Histogram, Stage};
 use clme_sim::matrix::{all_engines, RunMatrix};
 use clme_sim::{
-    compare, run_benchmark, run_benchmark_recorded, run_benchmark_series, SimParams,
-    StatsSnapshot, Tolerance,
+    compare, run_benchmark, run_benchmark_recorded, run_benchmark_series, run_benchmark_spans,
+    SimParams, StatsSnapshot, Tolerance,
 };
 use clme_types::config::AesStrength;
 use clme_types::json::JsonValue;
@@ -678,7 +697,7 @@ fn run_series_profile(args: &ProfileArgs) -> i32 {
         "sampling {label} every {} cycles (workload seed {seed:#x})",
         args.epoch_cycles
     );
-    let (result, series) = run_benchmark_series(
+    let (result, series, blame) = run_benchmark_series(
         &spec.cfg,
         spec.engine,
         &spec.bench,
@@ -717,6 +736,14 @@ fn run_series_profile(args: &ProfileArgs) -> i32 {
         series.ipc_max(),
         series.ipc_last(),
         series.counter_cache_hit_rate_last() * 100.0
+    );
+    println!(
+        "blame over {} misses: dram {:.1}% / counter {:.1}% / cipher {:.1}% / mac {:.1}%",
+        blame.total(),
+        blame.fraction(Blame::Dram) * 100.0,
+        blame.fraction(Blame::Counter) * 100.0,
+        blame.fraction(Blame::Cipher) * 100.0,
+        blame.fraction(Blame::Mac) * 100.0,
     );
     if let Some(path) = &args.json {
         if let Err(err) = std::fs::write(path, series.to_json(&label)) {
@@ -1067,6 +1094,485 @@ fn run_trace_command(args: &[String]) -> i32 {
     0
 }
 
+struct CritpathArgs {
+    label: String,
+    samples: usize,
+    seed: u64,
+    params: SimParams,
+    json: Option<PathBuf>,
+    trace: Option<PathBuf>,
+}
+
+fn critpath_usage() -> ! {
+    eprintln!(
+        "usage: clme critpath CONFIG/ENGINE/BENCH [--samples N] [--seed HEX|DEC]\n\
+         \x20                  [--measure N] [--warmup N] [--functional-warmup N]\n\
+         \x20                  [--json PATH] [--trace PATH]\n\
+         \n\
+         critpath replays one cell with the span tracer installed: every LLC\n\
+         miss of the measured window becomes a request span whose dependent\n\
+         operations (data DRAM access, counter fetch per tree level, in-line\n\
+         MAC, pad generation, ECC decode) are recorded as child spans, and the\n\
+         chain that actually gated readiness assigns the miss one blame class\n\
+         (dram-/counter-/cipher-/mac-bound). Prints the blame breakdown table;\n\
+         --json writes it as a JSON artifact, --trace writes the sampled\n\
+         request spans as Chrome trace_event JSON with flow arrows (open in\n\
+         Perfetto). The cell runs the --tiny matrix windows with its\n\
+         label-derived workload seed, so the fractions match the matching\n\
+         snapshot's blame.* metrics exactly.\n\
+         \n\
+         example: clme critpath table1/counter-mode/bfs --trace spans.json"
+    );
+    std::process::exit(2)
+}
+
+fn parse_critpath_args(args: &[String]) -> CritpathArgs {
+    let mut parsed = CritpathArgs {
+        label: String::new(),
+        samples: clme_obs::DEFAULT_SPAN_SAMPLES,
+        seed: DEFAULT_MATRIX_SEED,
+        params: tiny_cell_params(),
+        json: None,
+        trace: None,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                critpath_usage()
+            })
+        };
+        match flag.as_str() {
+            "--samples" => {
+                parsed.samples = value("--samples").parse().unwrap_or_else(|_| critpath_usage())
+            }
+            "--seed" => {
+                let text = value("--seed");
+                parsed.seed = if let Some(hex) = text.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).unwrap_or_else(|_| critpath_usage())
+                } else {
+                    text.parse().unwrap_or_else(|_| critpath_usage())
+                }
+            }
+            "--measure" => {
+                parsed.params.measure_per_core =
+                    value("--measure").parse().unwrap_or_else(|_| critpath_usage())
+            }
+            "--warmup" => {
+                parsed.params.warmup_per_core =
+                    value("--warmup").parse().unwrap_or_else(|_| critpath_usage())
+            }
+            "--functional-warmup" => {
+                parsed.params.functional_warmup_accesses =
+                    value("--functional-warmup").parse().unwrap_or_else(|_| critpath_usage())
+            }
+            "--json" => parsed.json = Some(PathBuf::from(value("--json"))),
+            "--trace" => parsed.trace = Some(PathBuf::from(value("--trace"))),
+            "--help" | "-h" => critpath_usage(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                critpath_usage()
+            }
+            label => {
+                if !parsed.label.is_empty() {
+                    eprintln!("critpath takes one cell label, got {label:?} too");
+                    critpath_usage()
+                }
+                parsed.label = label.to_string();
+            }
+        }
+    }
+    if parsed.label.is_empty() {
+        eprintln!("critpath needs a cell label");
+        critpath_usage()
+    }
+    parsed
+}
+
+fn critpath_json(
+    label: &str,
+    seed: u64,
+    tally: &clme_obs::BlameTally,
+    sampled: usize,
+) -> String {
+    let classes = Blame::ALL
+        .iter()
+        .map(|&blame| {
+            (
+                blame.name().to_string(),
+                JsonValue::Obj(vec![
+                    ("requests".into(), JsonValue::Num(tally.count(blame) as f64)),
+                    ("fraction".into(), JsonValue::Num(tally.fraction(blame))),
+                    (
+                        "mean_stall_ns".into(),
+                        JsonValue::Num(ns(tally.mean_stall_ps(blame))),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    let doc = JsonValue::Obj(vec![
+        ("label".into(), JsonValue::Str(label.to_string())),
+        ("seed".into(), JsonValue::Str(format!("{seed:#018x}"))),
+        ("requests".into(), JsonValue::Num(tally.total() as f64)),
+        ("sampled_spans".into(), JsonValue::Num(sampled as f64)),
+        ("classes".into(), JsonValue::Obj(classes)),
+    ]);
+    let mut text = doc.to_pretty();
+    text.push('\n');
+    text
+}
+
+fn run_critpath_command(args: &[String]) -> i32 {
+    let args = parse_critpath_args(args);
+    let Some(spec) = parse_cell_label(&args.label) else {
+        eprintln!(
+            "bad cell label {:?} (want config/engine/bench, e.g. table1/counter-mode/bfs)",
+            args.label
+        );
+        critpath_usage()
+    };
+    let label = spec.label();
+    let seed = cell_workload_seed(args.seed, &label);
+    eprintln!(
+        "tracing {label} (workload seed {seed:#x}, reservoir of {} spans)",
+        args.samples
+    );
+    let (result, tracer) = run_benchmark_spans(
+        &spec.cfg,
+        spec.engine,
+        &spec.bench,
+        args.params,
+        seed,
+        args.samples,
+    );
+    let tally = tracer.tally();
+    println!(
+        "critical-path blame for {label}: {} classified misses (window ipc {:.3})",
+        tally.total(),
+        result.ipc
+    );
+    println!(
+        "  {:<14} {:>10} {:>8} {:>22}",
+        "class", "requests", "share", "mean stall after data"
+    );
+    for &blame in Blame::ALL.iter() {
+        println!(
+            "  {:<14} {:>10} {:>7.1}% {:>19.2} ns",
+            blame.name(),
+            tally.count(blame),
+            tally.fraction(blame) * 100.0,
+            ns(tally.mean_stall_ps(blame)),
+        );
+    }
+    println!(
+        "\nsampled {} of {} requests (deterministic reservoir; --samples to resize)",
+        tracer.sampled().len(),
+        tracer.total_requests()
+    );
+    if let Some(path) = &args.json {
+        let artifact = critpath_json(&label, seed, tally, tracer.sampled().len());
+        if let Err(err) = std::fs::write(path, artifact) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return 1;
+        }
+        eprintln!("wrote blame artifact to {}", path.display());
+    }
+    if let Some(path) = &args.trace {
+        let trace = span_flow_json(&label, tracer.sampled());
+        if let Err(err) = std::fs::write(path, trace) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return 1;
+        }
+        println!(
+            "wrote {} request spans with flow arrows to {} — open in Perfetto \
+             (https://ui.perfetto.dev) or chrome://tracing",
+            tracer.sampled().len(),
+            path.display()
+        );
+    }
+    0
+}
+
+struct SeriesArgs {
+    matrix: bool,
+    tiny: bool,
+    threads: usize,
+    seed: u64,
+    epoch_cycles: u64,
+    json: Option<PathBuf>,
+}
+
+fn series_usage() -> ! {
+    eprintln!(
+        "usage: clme series --matrix [--tiny] [--threads N] [--seed HEX|DEC]\n\
+         \x20                 [--epoch CYCLES] [--json PATH]\n\
+         \n\
+         series --matrix runs every (config x benchmark) group of the grid\n\
+         under the epoch sampler with ONE workload seed per group — derived\n\
+         from config/bench only, without the engine — so all four engines\n\
+         replay identical access streams and epoch k covers the same program\n\
+         phase in each. Prints one engine-vs-engine epoch IPC table per group\n\
+         with bursts (epochs deviating more than 25% from the cell's median\n\
+         IPC) starred; --json writes the aligned series as a JSON artifact.\n\
+         --tiny uses the 12-cell smoke grid's axes; the default is the full\n\
+         72-cell grid's. Single-cell series live under clme profile --series."
+    );
+    std::process::exit(2)
+}
+
+fn parse_series_args(args: &[String]) -> SeriesArgs {
+    let mut parsed = SeriesArgs {
+        matrix: false,
+        tiny: false,
+        threads: std::thread::available_parallelism().map_or(4, usize::from).max(4),
+        seed: DEFAULT_MATRIX_SEED,
+        epoch_cycles: clme_obs::DEFAULT_EPOCH_CYCLES,
+        json: None,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                series_usage()
+            })
+        };
+        match flag.as_str() {
+            "--matrix" => parsed.matrix = true,
+            "--tiny" => parsed.tiny = true,
+            "--threads" => {
+                parsed.threads = value("--threads").parse().unwrap_or_else(|_| series_usage())
+            }
+            "--seed" => {
+                let text = value("--seed");
+                parsed.seed = if let Some(hex) = text.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).unwrap_or_else(|_| series_usage())
+                } else {
+                    text.parse().unwrap_or_else(|_| series_usage())
+                }
+            }
+            "--epoch" => {
+                parsed.epoch_cycles = value("--epoch").parse().unwrap_or_else(|_| series_usage());
+                if parsed.epoch_cycles == 0 {
+                    eprintln!("--epoch needs a positive cycle count");
+                    series_usage()
+                }
+            }
+            "--json" => parsed.json = Some(PathBuf::from(value("--json"))),
+            "--help" | "-h" => series_usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                series_usage()
+            }
+        }
+    }
+    parsed
+}
+
+/// Epochs whose IPC deviates more than 25% from the cell's median — the
+/// "burst" marker of the phase-aligned comparison table.
+fn burst_epochs(ipcs: &[f64]) -> Vec<bool> {
+    let mut sorted = ipcs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("ipc is finite"));
+    let median = if sorted.is_empty() {
+        0.0
+    } else if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+    ipcs.iter()
+        .map(|&ipc| median > 0.0 && (ipc - median).abs() > 0.25 * median)
+        .collect()
+}
+
+fn run_series_matrix_command(args: &[String]) -> i32 {
+    let args = parse_series_args(args);
+    if !args.matrix {
+        eprintln!("clme series needs --matrix (single-cell series: clme profile --series)");
+        series_usage()
+    }
+    let (params, benches, configs): (SimParams, Vec<&str>, Vec<(&str, SystemConfig)>) =
+        if args.tiny {
+            (
+                tiny_cell_params(),
+                vec!["bfs", "canneal", "streamcluster"],
+                vec![("table1", SystemConfig::isca_table1())],
+            )
+        } else {
+            (
+                clme_bench::params_from_env(),
+                suites::IRREGULAR.to_vec(),
+                vec![
+                    ("table1", SystemConfig::isca_table1()),
+                    ("low-bw", SystemConfig::low_bandwidth()),
+                ],
+            )
+        };
+    let engines = all_engines();
+    let groups: Vec<(String, SystemConfig, String)> = configs
+        .iter()
+        .flat_map(|(name, cfg)| {
+            benches
+                .iter()
+                .map(move |bench| (name.to_string(), cfg.clone(), bench.to_string()))
+        })
+        .collect();
+    let jobs: Vec<(usize, usize)> = (0..groups.len())
+        .flat_map(|g| (0..engines.len()).map(move |e| (g, e)))
+        .collect();
+    eprintln!(
+        "running {} phase-aligned cells ({} groups x {} engines) on {} threads (seed {:#x})",
+        jobs.len(),
+        groups.len(),
+        engines.len(),
+        args.threads,
+        args.seed
+    );
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<EpochSeries>>> = Mutex::new(vec![None; jobs.len()]);
+    let threads = args.threads.max(1).min(jobs.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(g, e)) = jobs.get(index) else {
+                    break;
+                };
+                let (config_name, cfg, bench) = &groups[g];
+                // The phase-alignment contract: the seed ignores the
+                // engine, so the four cells of a group replay identical
+                // workload streams and their cycle-indexed epochs line up.
+                let seed = SplitMix64::new(args.seed)
+                    .derive(format!("{config_name}/{bench}").as_bytes());
+                let (_, series, _) = run_benchmark_series(
+                    cfg,
+                    engines[e],
+                    bench,
+                    params,
+                    seed,
+                    args.epoch_cycles,
+                );
+                slots.lock().expect("series worker panicked")[index] = Some(series);
+            });
+        }
+    });
+    let all_series: Vec<EpochSeries> = slots
+        .into_inner()
+        .expect("series worker panicked")
+        .into_iter()
+        .map(|slot| slot.expect("every job ran"))
+        .collect();
+
+    let mut json_groups: Vec<(String, JsonValue)> = Vec::new();
+    for (g, (config_name, _, bench)) in groups.iter().enumerate() {
+        let group_seed =
+            SplitMix64::new(args.seed).derive(format!("{config_name}/{bench}").as_bytes());
+        let cells: Vec<&EpochSeries> = engines
+            .iter()
+            .enumerate()
+            .map(|(e, _)| &all_series[g * engines.len() + e])
+            .collect();
+        let ipcs: Vec<Vec<f64>> = cells
+            .iter()
+            .map(|s| s.samples.iter().map(|sample| sample.ipc()).collect())
+            .collect();
+        let bursts: Vec<Vec<bool>> = ipcs.iter().map(|i| burst_epochs(i)).collect();
+        let rows = ipcs.iter().map(Vec::len).max().unwrap_or(0);
+
+        println!(
+            "\n== {config_name}/{bench} — shared workload seed {group_seed:#x}, \
+             epochs of {} cycles",
+            args.epoch_cycles
+        );
+        print!("  {:>5}", "epoch");
+        for engine in &engines {
+            print!(" {:>14}", engine.to_string());
+        }
+        println!();
+        for row in 0..rows {
+            print!("  {row:>5}");
+            for (e, ipc) in ipcs.iter().enumerate() {
+                match ipc.get(row) {
+                    Some(&value) => {
+                        let marker = if bursts[e][row] { "*" } else { " " };
+                        print!(" {value:>13.3}{marker}");
+                    }
+                    None => print!(" {:>14}", "-"),
+                }
+            }
+            println!();
+        }
+        print!("  bursts (>25% off the cell median):");
+        for (e, engine) in engines.iter().enumerate() {
+            let count = bursts[e].iter().filter(|&&b| b).count();
+            print!(" {engine} {count}");
+            if e + 1 < engines.len() {
+                print!(",");
+            }
+        }
+        println!();
+
+        if args.json.is_some() {
+            let engine_objs = engines
+                .iter()
+                .enumerate()
+                .map(|(e, engine)| {
+                    (
+                        engine.to_string(),
+                        JsonValue::Obj(vec![
+                            (
+                                "ipc".into(),
+                                JsonValue::Arr(
+                                    ipcs[e].iter().map(|&v| JsonValue::Num(v)).collect(),
+                                ),
+                            ),
+                            (
+                                "burst_epochs".into(),
+                                JsonValue::Arr(
+                                    bursts[e]
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|(_, &b)| b)
+                                        .map(|(i, _)| JsonValue::Num(i as f64))
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect();
+            json_groups.push((
+                format!("{config_name}/{bench}"),
+                JsonValue::Obj(vec![
+                    ("seed".into(), JsonValue::Str(format!("{group_seed:#018x}"))),
+                    ("engines".into(), JsonValue::Obj(engine_objs)),
+                ]),
+            ));
+        }
+    }
+    if let Some(path) = &args.json {
+        let doc = JsonValue::Obj(vec![
+            ("matrix_seed".into(), JsonValue::Str(format!("{:#018x}", args.seed))),
+            ("epoch_cycles".into(), JsonValue::Num(args.epoch_cycles as f64)),
+            ("groups".into(), JsonValue::Obj(json_groups)),
+        ]);
+        let mut text = doc.to_pretty();
+        text.push('\n');
+        if let Err(err) = std::fs::write(path, text) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return 1;
+        }
+        eprintln!("wrote aligned series to {}", path.display());
+    }
+    0
+}
+
 fn main() {
     let all: Vec<String> = std::env::args().skip(1).collect();
     match all.first().map(String::as_str) {
@@ -1075,6 +1581,8 @@ fn main() {
         Some("profile") => std::process::exit(run_profile_command(&all[1..])),
         Some("perf") => std::process::exit(run_perf_command(&all[1..])),
         Some("trace") => std::process::exit(run_trace_command(&all[1..])),
+        Some("critpath") => std::process::exit(run_critpath_command(&all[1..])),
+        Some("series") => std::process::exit(run_series_matrix_command(&all[1..])),
         _ => {}
     }
     let args = parse_args();

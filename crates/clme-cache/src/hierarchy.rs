@@ -160,7 +160,10 @@ impl MemorySystemCaches {
                     obs.event(at, Component::Cache, EventKind::LlcHit, block, TimeDelta::ZERO)
                 }
                 HitLevel::Memory => {
-                    obs.event(at, Component::Cache, EventKind::LlcMiss, block, TimeDelta::ZERO)
+                    obs.event(at, Component::Cache, EventKind::LlcMiss, block, TimeDelta::ZERO);
+                    // The LLC miss opens a request span; the machine and
+                    // engine report its dependent operations as children.
+                    obs.span_request_begin(at, block);
                 }
             }
         }

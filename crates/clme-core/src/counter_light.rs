@@ -28,7 +28,7 @@ use clme_counters::memo::MemoTable;
 use clme_dram::mapping::AddressMapping;
 use clme_dram::timing::{AccessKind, Dram};
 use clme_ecc::encmeta::MAX_COUNTER;
-use clme_obs::{Component, EventKind, Stage, TraceSink};
+use clme_obs::{Component, EventKind, SpanKind, Stage, TraceSink};
 use clme_types::config::SystemConfig;
 use clme_types::{BlockAddr, Time, TimeDelta};
 use std::collections::{HashMap, HashSet};
@@ -69,6 +69,7 @@ pub struct CounterLightEngine {
     ecc_check: TimeDelta,
     memo_combine: TimeDelta,
     half_transfer: TimeDelta,
+    mac_window: TimeDelta,
     stats: EngineStats,
 }
 
@@ -103,6 +104,9 @@ impl CounterLightEngine {
             ecc_check: cfg.ecc_check_latency,
             memo_combine: cfg.memo_combine_latency,
             half_transfer: cfg.half_block_transfer_time(),
+            // Synergy layout: the MAC lanes ride the last eighth of the
+            // data burst rather than a separate DRAM access.
+            mac_window: TimeDelta::from_picos(cfg.block_transfer_time().picos() / 8),
             stats: EngineStats::new(),
         }
     }
@@ -160,6 +164,9 @@ impl EncryptionEngine for CounterLightEngine {
     ) -> ReadMissOutcome {
         obs.tick(issue);
         let data = dram.access_obs(block, AccessKind::Read, issue, obs);
+        if obs.enabled() {
+            obs.span_child(SpanKind::DataDram, 0, issue, data.arrival);
+        }
         self.epoch.observe_access(issue);
         // EncryptionMetadata decodes from the parity once half the block
         // (including the parity lane) has arrived.
@@ -168,6 +175,9 @@ impl EncryptionEngine for CounterLightEngine {
             // Counterless-mode block: data-dependent AES after arrival,
             // exactly like counterless encryption.
             obs.count(EventKind::PadAes);
+            if obs.enabled() {
+                obs.span_child(SpanKind::PadAes, 0, data.arrival, data.arrival + self.aes);
+            }
             (data.arrival + self.aes, None)
         } else {
             self.stats.reads_in_counter_mode += 1;
@@ -187,6 +197,15 @@ impl EncryptionEngine for CounterLightEngine {
                 obs.count(if memo_hit { EventKind::PadMemoized } else { EventKind::PadAes });
                 // The in-ECC "fetch" completes at the half-block point.
                 obs.latency(Stage::CounterFetch, meta_known.saturating_since(issue));
+                // In-ECC decode: the counter is never a DRAM dependency,
+                // so the counter-fetch span always ends before arrival.
+                obs.span_child(SpanKind::CounterFetch, 0, issue, meta_known);
+                obs.span_child(
+                    if memo_hit { SpanKind::PadMemo } else { SpanKind::PadAes },
+                    0,
+                    meta_known,
+                    meta_known + pad_latency,
+                );
             }
             (meta_known + pad_latency, Some(meta_known))
         };
@@ -196,6 +215,10 @@ impl EncryptionEngine for CounterLightEngine {
         self.stats.total_stall_after_data += ready - data.arrival;
         if obs.enabled() {
             obs.count(EventKind::MacVerify);
+            // Synergy in-line MAC: lanes arrive with the burst tail.
+            obs.latency(Stage::MacFetch, self.mac_window);
+            obs.span_child(SpanKind::MacFetch, 0, data.arrival - self.mac_window, data.arrival);
+            obs.span_child(SpanKind::EccDecode, 0, ready - self.ecc_check, ready);
             obs.event(issue, Component::Engine, EventKind::ReadMiss, block.raw(), ready - issue);
             obs.latency(Stage::Engine, ready - data.arrival);
         }

@@ -16,7 +16,7 @@ use crate::metadata::MetadataTraffic;
 use crate::stats::EngineStats;
 use clme_counters::memo::MemoTable;
 use clme_dram::timing::{AccessKind, Dram};
-use clme_obs::{Component, EventKind, Stage, TraceSink};
+use clme_obs::{Component, EventKind, SpanKind, Stage, TraceSink};
 use clme_types::config::SystemConfig;
 use clme_types::{BlockAddr, Time, TimeDelta};
 use std::collections::HashMap;
@@ -78,6 +78,7 @@ pub struct CounterModeEngine {
     aes: TimeDelta,
     ecc_check: TimeDelta,
     memo_combine: TimeDelta,
+    mac_window: TimeDelta,
     stats: EngineStats,
 }
 
@@ -106,6 +107,9 @@ impl CounterModeEngine {
             aes: cfg.aes_latency(),
             ecc_check: cfg.ecc_check_latency,
             memo_combine: cfg.memo_combine_latency,
+            // Synergy layout: the MAC occupies the ninth-chip lanes of the
+            // same burst, so it lands over the last eighth of the transfer.
+            mac_window: TimeDelta::from_picos(cfg.block_transfer_time().picos() / 8),
             stats: EngineStats::new(),
         }
     }
@@ -135,23 +139,27 @@ impl EncryptionEngine for CounterModeEngine {
     ) -> ReadMissOutcome {
         obs.tick(issue);
         let data = dram.access_obs(block, AccessKind::Read, issue, obs);
+        if obs.enabled() {
+            obs.span_child(SpanKind::DataDram, 0, issue, data.arrival);
+        }
         let mut counter_known = None;
         let mut ready = data.arrival + self.ecc_check;
         let protected = block.raw() < self.metadata.layout().data_blocks();
         if self.mode_cfg.fetch_counters_on_read && protected {
             obs.count(EventKind::CounterFetchStart);
-            let fetch = self.metadata.counter_for_read(
+            let fetch = self.metadata.counter_for_read_obs(
                 block,
                 issue,
                 dram,
                 self.mode_cfg.cache_read_counters,
+                obs,
             );
             self.stats.metadata_reads += fetch.dram_reads;
             self.stats.metadata_writes += fetch.dram_writes;
             if fetch.counter_dram_arrival.is_some() {
                 self.stats.counter_fetches += 1;
                 if self.mode_cfg.tree_on_read {
-                    let verify = self.metadata.verify_tree_for_read(block, issue, dram);
+                    let verify = self.metadata.verify_tree_for_read_obs(block, issue, dram, obs);
                     self.stats.metadata_reads += verify.dram_reads;
                     self.stats.metadata_writes += verify.dram_writes;
                 }
@@ -175,6 +183,12 @@ impl EncryptionEngine for CounterModeEngine {
                 }
                 obs.count(if memo_hit { EventKind::PadMemoized } else { EventKind::PadAes });
                 obs.latency(Stage::CounterFetch, fetch.available.saturating_since(issue));
+                obs.span_child(
+                    if memo_hit { SpanKind::PadMemo } else { SpanKind::PadAes },
+                    0,
+                    fetch.available,
+                    pad_done,
+                );
             }
             self.stats.counter_cache = self.metadata.cache_hit_ratio();
         }
@@ -184,6 +198,11 @@ impl EncryptionEngine for CounterModeEngine {
         self.stats.total_stall_after_data += ready.saturating_since(data.arrival);
         if obs.enabled() {
             obs.count(EventKind::MacVerify);
+            // Synergy stores the MAC in-line: its lanes ride the tail of
+            // the data burst instead of issuing a separate DRAM read.
+            obs.latency(Stage::MacFetch, self.mac_window);
+            obs.span_child(SpanKind::MacFetch, 0, data.arrival - self.mac_window, data.arrival);
+            obs.span_child(SpanKind::EccDecode, 0, ready - self.ecc_check, ready);
             obs.event(issue, Component::Engine, EventKind::ReadMiss, block.raw(), ready - issue);
             obs.latency(Stage::Engine, ready.saturating_since(data.arrival));
         }

@@ -9,7 +9,7 @@
 use crate::engine::{EncryptionEngine, EngineKind, ReadMissOutcome, WritebackOutcome};
 use crate::stats::EngineStats;
 use clme_dram::timing::{AccessKind, Dram};
-use clme_obs::{Component, EventKind, Stage, TraceSink};
+use clme_obs::{Component, EventKind, SpanKind, Stage, TraceSink};
 use clme_types::config::SystemConfig;
 use clme_types::{BlockAddr, Time, TimeDelta};
 
@@ -34,6 +34,7 @@ use clme_types::{BlockAddr, Time, TimeDelta};
 pub struct CounterlessEngine {
     aes: TimeDelta,
     ecc_check: TimeDelta,
+    mac_window: TimeDelta,
     stats: EngineStats,
 }
 
@@ -43,6 +44,8 @@ impl CounterlessEngine {
         CounterlessEngine {
             aes: cfg.aes_latency(),
             ecc_check: cfg.ecc_check_latency,
+            // Synergy in-line MAC: its lanes occupy the burst tail.
+            mac_window: TimeDelta::from_picos(cfg.block_transfer_time().picos() / 8),
             stats: EngineStats::new(),
         }
     }
@@ -72,6 +75,11 @@ impl EncryptionEngine for CounterlessEngine {
         if obs.enabled() {
             obs.count(EventKind::PadAes);
             obs.count(EventKind::MacVerify);
+            obs.latency(Stage::MacFetch, self.mac_window);
+            obs.span_child(SpanKind::DataDram, 0, issue, access.arrival);
+            obs.span_child(SpanKind::MacFetch, 0, access.arrival - self.mac_window, access.arrival);
+            obs.span_child(SpanKind::PadAes, 0, access.arrival, cipher_done);
+            obs.span_child(SpanKind::EccDecode, 0, cipher_done.max(access.arrival), ready);
             obs.event(issue, Component::Engine, EventKind::ReadMiss, block.raw(), ready - issue);
             obs.latency(Stage::Engine, ready - access.arrival);
         }

@@ -10,6 +10,7 @@
 use clme_counters::cache::CounterCache;
 use clme_counters::layout::MetadataLayout;
 use clme_dram::timing::{AccessKind, Dram};
+use clme_obs::{NopSink, SpanKind, TraceSink};
 use clme_types::config::SystemConfig;
 use clme_types::{BlockAddr, Time, TimeDelta};
 
@@ -74,9 +75,26 @@ impl MetadataTraffic {
         dram: &mut Dram,
         fill_cache: bool,
     ) -> MetadataOutcome {
+        self.counter_for_read_obs(data_block, issue, dram, fill_cache, &mut NopSink)
+    }
+
+    /// [`MetadataTraffic::counter_for_read`] with an observability sink:
+    /// the counter acquisition (cache hit or DRAM fetch) is reported as a
+    /// level-0 counter-fetch child span of the open request.
+    pub fn counter_for_read_obs(
+        &mut self,
+        data_block: BlockAddr,
+        issue: Time,
+        dram: &mut Dram,
+        fill_cache: bool,
+        obs: &mut dyn TraceSink,
+    ) -> MetadataOutcome {
         let counter_block = self.layout.counter_block_of(data_block);
         let lookup_done = issue + self.lookup_latency;
         if self.cache.access(counter_block, false) {
+            if obs.enabled() {
+                obs.span_child(SpanKind::CounterFetch, 0, issue, lookup_done);
+            }
             return MetadataOutcome {
                 available: lookup_done,
                 counter_dram_arrival: None,
@@ -84,7 +102,13 @@ impl MetadataTraffic {
                 dram_writes: 0,
             };
         }
+        // Deliberately the unobserved access: metadata fetches keep their
+        // pre-span-layer stage/event attribution so snapshots stay
+        // byte-identical with tracing off; only the child span is new.
         let access = dram.access(counter_block, AccessKind::Read, lookup_done);
+        if obs.enabled() {
+            obs.span_child(SpanKind::CounterFetch, 0, issue, access.arrival);
+        }
         let mut outcome = MetadataOutcome {
             available: access.arrival,
             counter_dram_arrival: Some(access.arrival),
@@ -109,7 +133,20 @@ impl MetadataTraffic {
         issue: Time,
         dram: &mut Dram,
     ) -> MetadataOutcome {
-        self.walk_tree(data_block, issue, dram, false)
+        self.verify_tree_for_read_obs(data_block, issue, dram, &mut NopSink)
+    }
+
+    /// [`MetadataTraffic::verify_tree_for_read`] with an observability
+    /// sink: each tree node consulted is reported as a counter-fetch
+    /// child span at its depth (level 1 = lowest tree node).
+    pub fn verify_tree_for_read_obs(
+        &mut self,
+        data_block: BlockAddr,
+        issue: Time,
+        dram: &mut Dram,
+        obs: &mut dyn TraceSink,
+    ) -> MetadataOutcome {
+        self.walk_tree(data_block, issue, dram, false, obs)
     }
 
     /// Writeback-path metadata update: read-modify-write the counter
@@ -125,7 +162,7 @@ impl MetadataTraffic {
         let counter_block = self.layout.counter_block_of(data_block);
         let mut outcome = self.touch(counter_block, now, dram, true, false);
         if include_tree {
-            let tree = self.walk_tree(data_block, now, dram, true);
+            let tree = self.walk_tree(data_block, now, dram, true, &mut NopSink);
             outcome.dram_reads += tree.dram_reads;
             outcome.dram_writes += tree.dram_writes;
             outcome.available = outcome.available.max(tree.available);
@@ -139,13 +176,22 @@ impl MetadataTraffic {
         issue: Time,
         dram: &mut Dram,
         dirty: bool,
+        obs: &mut dyn TraceSink,
     ) -> MetadataOutcome {
         let mut outcome = MetadataOutcome {
             available: issue + self.lookup_latency,
             ..MetadataOutcome::default()
         };
-        for node in self.layout.tree_path_of(data_block) {
+        for (depth, node) in self.layout.tree_path_of(data_block).into_iter().enumerate() {
             let touched = self.touch(node, issue, dram, dirty, !dirty);
+            if obs.enabled() {
+                obs.span_child(
+                    SpanKind::CounterFetch,
+                    (depth + 1) as u8,
+                    issue,
+                    touched.available,
+                );
+            }
             outcome.dram_reads += touched.dram_reads;
             outcome.dram_writes += touched.dram_writes;
             outcome.available = outcome.available.max(touched.available);

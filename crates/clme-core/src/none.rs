@@ -6,7 +6,7 @@
 use crate::engine::{EncryptionEngine, EngineKind, ReadMissOutcome, WritebackOutcome};
 use crate::stats::EngineStats;
 use clme_dram::timing::{AccessKind, Dram};
-use clme_obs::{Component, EventKind, Stage, TraceSink};
+use clme_obs::{Component, EventKind, SpanKind, Stage, TraceSink};
 use clme_types::config::SystemConfig;
 use clme_types::{BlockAddr, Time, TimeDelta};
 
@@ -62,6 +62,8 @@ impl EncryptionEngine for NoEncryptionEngine {
         self.stats.total_stall_after_data += ready - access.arrival;
         if obs.enabled() {
             obs.count(EventKind::MacVerify);
+            obs.span_child(SpanKind::DataDram, 0, issue, access.arrival);
+            obs.span_child(SpanKind::EccDecode, 0, access.arrival, ready);
             obs.event(issue, Component::Engine, EventKind::ReadMiss, block.raw(), ready - issue);
             obs.latency(Stage::Engine, ready - access.arrival);
         }

@@ -22,7 +22,7 @@
 
 use crate::mapping::{AddressMapping, DramCoord};
 use crate::stats::BandwidthTracker;
-use clme_obs::{Component, EventKind, NopSink, Stage, TraceSink};
+use clme_obs::{Component, EventKind, NopSink, SpanKind, Stage, TraceSink};
 use clme_types::config::SystemConfig;
 use clme_types::{BlockAddr, Time, TimeDelta};
 
@@ -255,6 +255,8 @@ impl Dram {
                 self.transfer,
             );
             obs.latency(Stage::Dram, arrival - at);
+            obs.span_child(SpanKind::DramBank, 0, bank_start, array_done);
+            obs.span_child(SpanKind::DramBus, 0, bus_start, arrival);
         }
         DramAccess {
             arrival,

@@ -30,8 +30,9 @@ pub mod hist;
 pub mod ring;
 pub mod series;
 pub mod sink;
+pub mod span;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, span_flow_json};
 pub use counters::{Component, EventCounters, EventKind};
 pub use hist::Log2Histogram;
 pub use ring::{TraceEvent, TraceRing};
@@ -39,3 +40,7 @@ pub use series::{
     EpochSample, EpochSeries, SeriesRecorder, StageSample, DEFAULT_EPOCH_CYCLES,
 };
 pub use sink::{NopSink, Recorder, Stage, TraceSink, DEFAULT_RING_CAPACITY, STAGES};
+pub use span::{
+    Blame, BlameTally, BlameTracker, ChildSpan, RequestSpans, SpanKind, SpanTracer,
+    BLAME_KINDS, DEFAULT_SPAN_SAMPLES, SPAN_KINDS,
+};

@@ -37,6 +37,7 @@
 use crate::counters::{EventCounters, EventKind};
 use crate::hist::Log2Histogram;
 use crate::sink::{Stage, TraceSink, STAGES};
+use crate::span::{BlameTally, BlameTracker, SpanKind};
 use clme_types::json::JsonValue;
 use clme_types::{Time, TimeDelta};
 use std::any::Any;
@@ -274,6 +275,9 @@ pub struct SeriesRecorder {
     flushed_counters: EventCounters,
     flushed_stages: [Log2Histogram; STAGES],
     samples: Vec<EpochSample>,
+    /// O(1)-per-request critical-path blame over the whole window (the
+    /// `blame.*` snapshot metrics; not broken out per epoch).
+    blame: BlameTracker,
 }
 
 impl SeriesRecorder {
@@ -302,7 +306,13 @@ impl SeriesRecorder {
             flushed_counters: EventCounters::new(),
             flushed_stages: Default::default(),
             samples: Vec::new(),
+            blame: BlameTracker::new(),
         }
+    }
+
+    /// The critical-path blame tally over the measured window.
+    pub fn blame_tally(&self) -> &BlameTally {
+        self.blame.tally()
     }
 
     /// The cumulative event counters (like [`Recorder::counters`](crate::Recorder::counters)).
@@ -404,6 +414,18 @@ impl TraceSink for SeriesRecorder {
         self.instructions += instructions;
     }
 
+    fn span_request_begin(&mut self, _at: Time, _addr: u64) {
+        self.blame.begin();
+    }
+
+    fn span_child(&mut self, kind: SpanKind, _level: u8, _begin: Time, end: Time) {
+        self.blame.child(kind, end);
+    }
+
+    fn span_request_end(&mut self, data_arrival: Time, ready: Time) {
+        self.blame.end(data_arrival, ready);
+    }
+
     fn window_reset(&mut self) {
         // Re-anchor epoch 0 at the measurement window's start: the last
         // observed time is (up to one op) the window boundary.
@@ -419,6 +441,7 @@ impl TraceSink for SeriesRecorder {
             stage.clear();
         }
         self.samples.clear();
+        self.blame.reset();
     }
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {

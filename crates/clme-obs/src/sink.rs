@@ -9,6 +9,7 @@
 use crate::counters::{Component, EventCounters, EventKind};
 use crate::hist::Log2Histogram;
 use crate::ring::{TraceEvent, TraceRing};
+use crate::span::SpanKind;
 use clme_types::{Time, TimeDelta};
 use std::any::Any;
 
@@ -29,10 +30,14 @@ pub enum Stage {
     Cache = 3,
     /// Dispatch stall attributed to a full ROB.
     RobStall = 4,
+    /// MAC lanes riding the tail of the data burst (the Synergy layout
+    /// stores the MAC with the block, so its fetch is the last slice of
+    /// the data transfer rather than a separate DRAM access).
+    MacFetch = 5,
 }
 
 /// Number of [`Stage`] variants.
-pub const STAGES: usize = 5;
+pub const STAGES: usize = 6;
 
 impl Stage {
     /// All stages, in index order.
@@ -42,6 +47,7 @@ impl Stage {
         Stage::Dram,
         Stage::Cache,
         Stage::RobStall,
+        Stage::MacFetch,
     ];
 
     /// Stable kebab-case name (used in reports and JSON artifacts).
@@ -52,6 +58,7 @@ impl Stage {
             Stage::Dram => "dram",
             Stage::Cache => "cache",
             Stage::RobStall => "rob-stall",
+            Stage::MacFetch => "mac-fetch",
         }
     }
 }
@@ -101,6 +108,25 @@ pub trait TraceSink: Any {
     /// `instructions` more instructions retired (the machine calls this
     /// once per executed op with that op's retirement count).
     fn retire(&mut self, _instructions: u64) {}
+
+    /// An LLC miss entered the engine read path: a request span opens.
+    /// The cache hierarchy calls this when it detects the miss; every
+    /// [`TraceSink::span_child`] until the matching
+    /// [`TraceSink::span_request_end`] belongs to this request. The
+    /// simulation is single-threaded per machine, so at most one request
+    /// is open at a time.
+    fn span_request_begin(&mut self, _at: Time, _addr: u64) {}
+
+    /// A dependent operation of the open request ran over `[begin, end]`.
+    /// `level` disambiguates integrity-tree depth for
+    /// [`SpanKind::CounterFetch`] (0 = leaf counter, 1.. = tree nodes)
+    /// and is 0 for every other kind. Ignored when no request is open.
+    fn span_child(&mut self, _kind: SpanKind, _level: u8, _begin: Time, _end: Time) {}
+
+    /// The open request resolved: data arrived at `data_arrival` and the
+    /// decrypted, verified block became usable at `ready`. Sinks compute
+    /// critical-path blame here from the children they collected.
+    fn span_request_end(&mut self, _data_arrival: Time, _ready: Time) {}
 
     /// A measurement boundary (e.g. warm-up finished): accumulating
     /// sinks clear here so reports cover only the measured window.
@@ -154,13 +180,7 @@ impl Recorder {
         Recorder {
             enabled: true,
             counters: EventCounters::new(),
-            stages: [
-                Log2Histogram::new(),
-                Log2Histogram::new(),
-                Log2Histogram::new(),
-                Log2Histogram::new(),
-                Log2Histogram::new(),
-            ],
+            stages: Default::default(),
             ring: TraceRing::new(capacity),
         }
     }

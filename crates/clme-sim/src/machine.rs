@@ -11,7 +11,7 @@ use clme_cache::hierarchy::{HitLevel, MemorySystemCaches};
 use clme_core::engine::EncryptionEngine;
 use clme_dram::power::PowerParams;
 use clme_dram::timing::Dram;
-use clme_obs::{Component, EventKind, NopSink, Stage, TraceSink};
+use clme_obs::{Component, EventKind, NopSink, SpanKind, Stage, TraceSink};
 use clme_types::config::SystemConfig;
 use clme_types::{Time, TimeDelta};
 use clme_workloads::{Op, Workload};
@@ -178,6 +178,10 @@ impl Machine {
             HitLevel::Memory => {
                 let mc_issue = issue + self.llc_path;
                 let slot = self.cores[core_idx].acquire_mshr(mc_issue);
+                if self.obs.enabled() {
+                    // Lookup walked L1→L2→LLC before the miss left the chip.
+                    self.obs.span_child(SpanKind::CacheLookup, 0, issue, mc_issue);
+                }
                 let outcome = self.engine.on_read_miss_obs(
                     clme_types::BlockAddr::new(block),
                     slot,
@@ -185,6 +189,9 @@ impl Machine {
                     &mut *self.obs,
                 );
                 self.cores[core_idx].commit_mshr(outcome.ready);
+                // Close the request span before writebacks/prefetches below
+                // emit their own (ignored, requestless) child spans.
+                self.obs.span_request_end(outcome.data_arrival, outcome.ready);
                 outcome.ready
             }
         };

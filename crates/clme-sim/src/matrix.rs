@@ -207,7 +207,7 @@ impl RunMatrix {
     /// so the remaining metrics equal an unobserved run's.
     pub fn run_cell(&self, cell: &MatrixCell) -> StatsSnapshot {
         let seed = self.cell_seed(cell);
-        let (result, series) = run_benchmark_series(
+        let (result, series, blame) = run_benchmark_series(
             &cell.config,
             cell.engine,
             &cell.bench,
@@ -215,14 +215,14 @@ impl RunMatrix {
             seed,
             DEFAULT_EPOCH_CYCLES,
         );
-        StatsSnapshot::capture_with_series(&result, &cell.config_name, seed, &series)
+        StatsSnapshot::capture_with_series(&result, &cell.config_name, seed, &series, &blame)
     }
 
     /// Runs a single cell reusing `arena`'s machine allocations. The
     /// arena must only ever see cells of one configuration.
     pub fn run_cell_reusing(&self, cell: &MatrixCell, arena: &mut MachineArena) -> StatsSnapshot {
         let seed = self.cell_seed(cell);
-        let (result, series) = run_benchmark_series_reusing(
+        let (result, series, blame) = run_benchmark_series_reusing(
             &cell.config,
             cell.engine,
             &cell.bench,
@@ -231,7 +231,7 @@ impl RunMatrix {
             DEFAULT_EPOCH_CYCLES,
             arena,
         );
-        StatsSnapshot::capture_with_series(&result, &cell.config_name, seed, &series)
+        StatsSnapshot::capture_with_series(&result, &cell.config_name, seed, &series, &blame)
     }
 }
 

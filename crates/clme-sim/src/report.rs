@@ -19,8 +19,11 @@ use clme_types::json::{self, JsonValue};
 /// counter-cache hit-rate metrics. v3 added the epoch time-series
 /// summary (`series.*`): matrix cells now run under a
 /// [`SeriesRecorder`](clme_obs::SeriesRecorder) and report per-epoch
-/// IPC extremes plus warmup-endpoint cache/row-buffer rates.
-pub const SNAPSHOT_SCHEMA: u64 = 3;
+/// IPC extremes plus warmup-endpoint cache/row-buffer rates. v4 added
+/// the per-request critical-path blame summary (`blame.*`): every miss
+/// of the measured window is classified dram-/counter-/cipher-/mac-bound
+/// by the span layer and the fractions are reported per cell.
+pub const SNAPSHOT_SCHEMA: u64 = 4;
 
 /// All statistics of one (config × engine × benchmark) cell, flattened
 /// to ordered `(metric, value)` pairs.
@@ -97,12 +100,14 @@ impl StatsSnapshot {
     }
 
     /// [`StatsSnapshot::capture`] plus the epoch-series summary metrics
-    /// (`series.*`) out of the run's sampled time-series.
+    /// (`series.*`) out of the run's sampled time-series and the
+    /// critical-path blame summary (`blame.*`) out of its span layer.
     pub fn capture_with_series(
         result: &SimResult,
         config: &str,
         seed: u64,
         series: &clme_obs::EpochSeries,
+        blame: &clme_obs::BlameTally,
     ) -> StatsSnapshot {
         let mut snapshot = StatsSnapshot::capture(result, config, seed);
         let mut push =
@@ -120,6 +125,17 @@ impl StatsSnapshot {
             "series.row_conflict_rate_mean",
             series.row_conflict_rate_mean(),
         );
+        push("blame.requests", blame.total() as f64);
+        push("blame.dram_bound_fraction", blame.fraction(clme_obs::Blame::Dram));
+        push(
+            "blame.counter_bound_fraction",
+            blame.fraction(clme_obs::Blame::Counter),
+        );
+        push(
+            "blame.cipher_bound_fraction",
+            blame.fraction(clme_obs::Blame::Cipher),
+        );
+        push("blame.mac_bound_fraction", blame.fraction(clme_obs::Blame::Mac));
         snapshot
     }
 
@@ -318,7 +334,7 @@ mod tests {
             measure_per_core: 5_000,
         };
         let cfg = SystemConfig::isca_table1();
-        let (result, series) = crate::run::run_benchmark_series(
+        let (result, series, blame) = crate::run::run_benchmark_series(
             &cfg,
             EngineKind::CounterMode,
             "bfs",
@@ -326,12 +342,20 @@ mod tests {
             11,
             clme_obs::DEFAULT_EPOCH_CYCLES,
         );
-        let snap = StatsSnapshot::capture_with_series(&result, "table1", 11, &series);
+        let snap = StatsSnapshot::capture_with_series(&result, "table1", 11, &series, &blame);
         assert_eq!(snap.metric("series.epochs"), Some(series.len() as f64));
         assert!(snap.metric("series.ipc_max").unwrap() > 0.0);
         assert!(snap.metric("series.ipc_min").unwrap() <= snap.metric("series.ipc_max").unwrap());
         assert!(snap.metric("series.counter_cache_hit_rate_last").is_some());
         assert!(snap.metric("series.row_conflict_rate_mean").is_some());
+        // The blame summary covers exactly the classified misses and its
+        // fractions partition them.
+        assert_eq!(snap.metric("blame.requests"), Some(blame.total() as f64));
+        let fractions = ["dram", "counter", "cipher", "mac"]
+            .iter()
+            .map(|k| snap.metric(&format!("blame.{k}_bound_fraction")).unwrap())
+            .sum::<f64>();
+        assert!((fractions - 1.0).abs() < 1e-9, "fractions sum to 1, got {fractions}");
         // The plain metrics come first and are unchanged by the series.
         let plain = StatsSnapshot::capture(&result, "table1", 11);
         assert_eq!(snap.metrics[..plain.metrics.len()], plain.metrics[..]);
@@ -394,7 +418,7 @@ mod tests {
 
     #[test]
     fn schema_mismatch_is_rejected() {
-        let text = snapshot().to_json().replace("\"schema\": 3", "\"schema\": 999");
+        let text = snapshot().to_json().replace("\"schema\": 4", "\"schema\": 999");
         assert!(StatsSnapshot::from_json(&text).is_err());
     }
 }

@@ -6,7 +6,7 @@ use clme_cache::hierarchy::MemorySystemCaches;
 use clme_core::build_engine;
 use clme_core::engine::{EncryptionEngine, EngineKind};
 use clme_dram::timing::Dram;
-use clme_obs::{EpochSeries, Recorder, SeriesRecorder};
+use clme_obs::{BlameTally, EpochSeries, Recorder, SeriesRecorder, SpanTracer};
 use clme_types::config::SystemConfig;
 use clme_workloads::suites;
 
@@ -172,7 +172,7 @@ pub fn run_benchmark_recorded(
 /// the result plus the epoch time-series sampled every `epoch_cycles`
 /// core cycles of the measured window (pass
 /// [`clme_obs::DEFAULT_EPOCH_CYCLES`] unless the caller has a reason to
-/// resample).
+/// resample) and the critical-path blame tally over every measured miss.
 pub fn run_benchmark_series(
     cfg: &SystemConfig,
     kind: EngineKind,
@@ -180,7 +180,7 @@ pub fn run_benchmark_series(
     params: SimParams,
     seed: u64,
     epoch_cycles: u64,
-) -> (SimResult, EpochSeries) {
+) -> (SimResult, EpochSeries, BlameTally) {
     let mut arena = MachineArena::new();
     run_benchmark_series_reusing(cfg, kind, bench, params, seed, epoch_cycles, &mut arena)
 }
@@ -195,7 +195,7 @@ pub fn run_benchmark_series_reusing(
     seed: u64,
     epoch_cycles: u64,
     arena: &mut MachineArena,
-) -> (SimResult, EpochSeries) {
+) -> (SimResult, EpochSeries, BlameTally) {
     let engine = build_engine(kind, cfg, suites::address_space_blocks());
     let workloads = (0..cfg.cores)
         .map(|c| suites::instantiate_seeded(bench, c, seed))
@@ -216,7 +216,37 @@ pub fn run_benchmark_series_reusing(
         .downcast::<SeriesRecorder>()
         .expect("the sink installed above is a SeriesRecorder");
     arena.parts = Some(machine.into_parts());
-    (result, recorder.into_series())
+    let blame = recorder.blame_tally().clone();
+    (result, recorder.into_series(), blame)
+}
+
+/// [`run_benchmark_seeded`] with a [`SpanTracer`] installed: returns the
+/// result plus the tracer holding the whole-run blame tally and a
+/// deterministic reservoir of at most `span_samples` fully-recorded
+/// request spans (children included), exportable with
+/// [`clme_obs::span_flow_json`].
+pub fn run_benchmark_spans(
+    cfg: &SystemConfig,
+    kind: EngineKind,
+    bench: &str,
+    params: SimParams,
+    seed: u64,
+    span_samples: usize,
+) -> (SimResult, SpanTracer) {
+    let engine = build_engine(kind, cfg, suites::address_space_blocks());
+    let workloads = (0..cfg.cores)
+        .map(|c| suites::instantiate_seeded(bench, c, seed))
+        .collect();
+    let mut machine = Machine::new(cfg.clone(), engine, workloads);
+    machine.set_sink(Box::new(SpanTracer::new(span_samples)));
+    machine.functional_warmup(params.functional_warmup_accesses);
+    let result = machine.run(params.warmup_per_core, params.measure_per_core);
+    let tracer = machine
+        .take_sink()
+        .into_any()
+        .downcast::<SpanTracer>()
+        .expect("the sink installed above is a SpanTracer");
+    (result, *tracer)
 }
 
 #[cfg(test)]
@@ -240,7 +270,7 @@ mod tests {
     fn series_run_matches_plain_run_and_samples_epochs() {
         let cfg = SystemConfig::isca_table1();
         let plain = run_benchmark_seeded(&cfg, EngineKind::CounterMode, "bfs", SimParams::quick(), 7);
-        let (result, series) = run_benchmark_series(
+        let (result, series, blame) = run_benchmark_series(
             &cfg,
             EngineKind::CounterMode,
             "bfs",
@@ -255,5 +285,7 @@ mod tests {
         let total: u64 = series.samples.iter().map(|s| s.instructions).sum();
         assert_eq!(total, result.instructions, "epochs partition the window");
         assert!(series.ipc_max() > 0.0);
+        // Every measured-window miss receives exactly one blame verdict.
+        assert!(blame.total() > 0, "misses were classified");
     }
 }

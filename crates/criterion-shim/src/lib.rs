@@ -7,8 +7,10 @@
 //! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], and the
 //! [`criterion_group!`]/[`criterion_main!`] macros — with a simple but
 //! honest timing loop: per-sample iteration counts are auto-calibrated
-//! so each sample runs at least ~1 ms, and the reported estimate is the
-//! minimum ns/iteration over the samples (robust to scheduler noise).
+//! so each sample runs at least ~1 ms, samples whose deviation from the
+//! median exceeds 3.5x the median absolute deviation are discarded
+//! (scheduler preemptions, page-cache refills), and the reported
+//! estimate is the minimum and mean ns/iteration over the survivors.
 //!
 //! It makes no attempt at criterion's statistics, plotting, or saved
 //! baselines; swapping in the real crate later only requires replacing
@@ -62,13 +64,18 @@ impl BenchmarkGroup<'_> {
         routine(&mut bencher);
         match bencher.estimate {
             Some(e) => println!(
-                "{}/{:<28} time: [{} .. {}]  ({} samples x {} iters)",
+                "{}/{:<28} time: [{} .. {}]  ({} samples x {} iters{})",
                 self.name,
                 id.as_ref(),
                 format_ns(e.min_ns),
                 format_ns(e.mean_ns),
                 self.sample_size,
                 e.iters_per_sample,
+                if e.rejected > 0 {
+                    format!(", {} outliers rejected", e.rejected)
+                } else {
+                    String::new()
+                },
             ),
             None => println!(
                 "{}/{:<28} time: [no measurement: b.iter never called]",
@@ -88,6 +95,46 @@ struct Estimate {
     min_ns: f64,
     mean_ns: f64,
     iters_per_sample: u64,
+    rejected: usize,
+}
+
+/// How many median absolute deviations from the median a sample may
+/// stray before it is discarded. 3.5 is the conventional cutoff for
+/// the modified z-score (Iglewicz & Hoaglin).
+const MAD_CUTOFF: f64 = 3.5;
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Drops samples whose absolute deviation from the median exceeds
+/// [`MAD_CUTOFF`] times the median absolute deviation. When the MAD is
+/// zero (half or more of the samples are identical — common for very
+/// fast routines on a quiet machine) every sample is kept: a zero
+/// scale would otherwise reject any sample that differs at all.
+fn reject_outliers(samples: &[f64]) -> Vec<f64> {
+    if samples.len() < 3 {
+        return samples.to_vec();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+    let med = median(&sorted);
+    let mut deviations: Vec<f64> = samples.iter().map(|s| (s - med).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).expect("deviations are finite"));
+    let mad = median(&deviations);
+    if mad == 0.0 {
+        return samples.to_vec();
+    }
+    samples
+        .iter()
+        .copied()
+        .filter(|s| (s - med).abs() <= MAD_CUTOFF * mad)
+        .collect()
 }
 
 /// Timing harness passed to each `bench_function` closure.
@@ -117,21 +164,22 @@ impl Bencher {
             iters *= 2;
         }
 
-        let mut min_ns = f64::INFINITY;
-        let mut sum_ns = 0.0;
+        let mut samples = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let started = Instant::now();
             for _ in 0..iters {
                 std::hint::black_box(routine());
             }
-            let ns = started.elapsed().as_nanos() as f64 / iters as f64;
-            min_ns = min_ns.min(ns);
-            sum_ns += ns;
+            samples.push(started.elapsed().as_nanos() as f64 / iters as f64);
         }
+        let kept = reject_outliers(&samples);
+        let min_ns = kept.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean_ns = kept.iter().sum::<f64>() / kept.len() as f64;
         self.estimate = Some(Estimate {
             min_ns,
-            mean_ns: sum_ns / self.sample_size as f64,
+            mean_ns,
             iters_per_sample: iters,
+            rejected: samples.len() - kept.len(),
         });
     }
 }
@@ -194,6 +242,36 @@ mod tests {
         let mut group = c.benchmark_group("shim");
         group.bench_function("empty", |_b| {});
         group.finish();
+    }
+
+    #[test]
+    fn mad_rejection_drops_the_preempted_sample() {
+        // A tight cluster plus one sample 50x slower (a scheduler
+        // preemption mid-sample): only the straggler goes.
+        let samples = [10.0, 10.2, 9.9, 10.1, 9.8, 500.0];
+        let kept = reject_outliers(&samples);
+        assert_eq!(kept.len(), 5);
+        assert!(kept.iter().all(|&s| s < 11.0));
+    }
+
+    #[test]
+    fn mad_rejection_keeps_clean_clusters_intact() {
+        let samples = [10.0, 10.2, 9.9, 10.1, 9.8];
+        assert_eq!(reject_outliers(&samples), samples.to_vec());
+    }
+
+    #[test]
+    fn zero_mad_keeps_every_sample() {
+        // Majority-identical timings give MAD == 0; rejecting on a zero
+        // scale would discard the two honest stragglers.
+        let samples = [10.0, 10.0, 10.0, 10.0, 12.0, 13.0];
+        assert_eq!(reject_outliers(&samples), samples.to_vec());
+    }
+
+    #[test]
+    fn tiny_sample_counts_are_never_filtered() {
+        let samples = [1.0, 100.0];
+        assert_eq!(reject_outliers(&samples), samples.to_vec());
     }
 
     fn noop_bench(_c: &mut Criterion) {}

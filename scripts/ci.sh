@@ -26,6 +26,11 @@ cargo run --release -q --offline -p clme-bench --bin clme -- perf
 
 if [[ "${CI_FULL_GRID:-0}" == "1" ]]; then
     echo "== golden diff (full 72-cell grid) =="
+    # The diff re-runs all 72 cells through the parallel RunMatrix
+    # workers (arena-reusing, default --threads = max(cores, 4)).
+    # Measured 2026-08: ~25 s of CPU time for the whole grid, so even a
+    # single-core runner finishes well inside a one-minute budget and a
+    # 4-core runner in under 10 s wall.
     cargo run --release -q --offline -p clme-bench --bin clme -- \
         diff --golden goldens/full
 fi

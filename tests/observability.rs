@@ -104,12 +104,12 @@ fn epoch_series_is_deterministic_across_run_paths() {
     let cfg = SystemConfig::isca_table1();
     let kind = EngineKind::CounterLight;
     let plain_result = run_benchmark_seeded(&cfg, kind, "bfs", params(), SEED);
-    let (res_a, series_a) =
+    let (res_a, series_a, blame_a) =
         run_benchmark_series(&cfg, kind, "bfs", params(), SEED, DEFAULT_EPOCH_CYCLES);
-    let (res_b, series_b) =
+    let (res_b, series_b, blame_b) =
         run_benchmark_series(&cfg, kind, "bfs", params(), SEED, DEFAULT_EPOCH_CYCLES);
     let mut arena = MachineArena::default();
-    let (res_c, series_c) = run_benchmark_series_reusing(
+    let (res_c, series_c, blame_c) = run_benchmark_series_reusing(
         &cfg,
         kind,
         "bfs",
@@ -120,7 +120,7 @@ fn epoch_series_is_deterministic_across_run_paths() {
     );
     // Reuse the warm arena once more: recycled buffers must not leak
     // state into the next cell's series.
-    let (_, series_d) = run_benchmark_series_reusing(
+    let (_, series_d, blame_d) = run_benchmark_series_reusing(
         &cfg,
         kind,
         "bfs",
@@ -134,6 +134,12 @@ fn epoch_series_is_deterministic_across_run_paths() {
     assert_eq!(json_a, series_c.to_json("table1/counter-light/bfs"));
     assert_eq!(json_a, series_d.to_json("table1/counter-light/bfs"));
     assert!(!series_a.is_empty(), "a real run must produce epochs");
+    // The blame tally rides the same sink: equally deterministic across
+    // fresh and arena-reusing runs.
+    assert!(blame_a.total() > 0, "misses were classified");
+    assert_eq!(blame_a, blame_b);
+    assert_eq!(blame_a, blame_c);
+    assert_eq!(blame_a, blame_d);
     // Observing the series must not change the simulation.
     assert_eq!(plain_result.elapsed, res_a.elapsed);
     assert_eq!(res_a.elapsed, res_b.elapsed);
