@@ -57,6 +57,18 @@
 //! clme series --matrix [--tiny] [--json aligned.json]
 //! ```
 //!
+//! Library runner: `clme mem` drives the clme-mem crate — the
+//! counter-light scheme applied to a real backing store (in-memory or
+//! paged file) instead of the simulator:
+//!
+//! ```text
+//! clme mem                       # demo: model check, tamper matrix, rekey
+//! clme mem --smoke --blocks 256  # CI smoke, nonzero exit on any miss
+//! clme mem --bench               # batch write/read/rekey throughput
+//! clme mem --critpath zipf       # blame table over real library latencies
+//! clme critpath mem/vec/zipf     # same, through the critpath front door
+//! ```
+//!
 //! Performance gate: `clme perf` runs a fixed calibrated cell set,
 //! normalises cells/sec by a built-in spin-calibration loop, writes
 //! `BENCH_perf.json` (with history), and compares against
@@ -70,7 +82,10 @@
 //! See EXPERIMENTS.md for the snapshot format and the golden workflow.
 
 use clme_core::engine::EngineKind;
-use clme_obs::{span_flow_json, Blame, EpochSeries, EventKind, Log2Histogram, Stage};
+use clme_mem::{
+    EncryptionLayer, FileBackend, LayerOptions, MemoryAdt, StoreBackend, VecBackend,
+};
+use clme_obs::{span_flow_json, Blame, EpochSeries, EventKind, Log2Histogram, SpanTracer, Stage};
 use clme_sim::matrix::{all_engines, RunMatrix};
 use clme_sim::{
     compare, run_benchmark, run_benchmark_recorded, run_benchmark_series, run_benchmark_spans,
@@ -1121,7 +1136,13 @@ fn critpath_usage() -> ! {
          label-derived workload seed, so the fractions match the matching\n\
          snapshot's blame.* metrics exactly.\n\
          \n\
-         example: clme critpath table1/counter-mode/bfs --trace spans.json"
+         Labels of the form mem/BACKEND/PATTERN (backend vec|file, pattern\n\
+         sweep|zipf) trace the clme-mem library itself instead of a simulated\n\
+         cell: reads of an encrypted in-process store, host-clock spans, the\n\
+         same blame table. See clme mem --help for the library runner.\n\
+         \n\
+         example: clme critpath table1/counter-mode/bfs --trace spans.json\n\
+         example: clme critpath mem/vec/zipf --json mem_blame.json"
     );
     std::process::exit(2)
 }
@@ -1224,8 +1245,31 @@ fn critpath_json(
     text
 }
 
+/// The blame-breakdown table shared by `clme critpath` and `clme mem
+/// --critpath`.
+fn print_blame_table(tally: &clme_obs::BlameTally) {
+    println!(
+        "  {:<14} {:>10} {:>8} {:>22}",
+        "class", "requests", "share", "mean stall after data"
+    );
+    for &blame in Blame::ALL.iter() {
+        println!(
+            "  {:<14} {:>10} {:>7.1}% {:>19.2} ns",
+            blame.name(),
+            tally.count(blame),
+            tally.fraction(blame) * 100.0,
+            ns(tally.mean_stall_ps(blame)),
+        );
+    }
+}
+
 fn run_critpath_command(args: &[String]) -> i32 {
     let args = parse_critpath_args(args);
+    // `mem/...` labels trace the clme-mem library instead of a simulated
+    // cell — same tracer, same table, real host-clock spans.
+    if let Some(rest) = args.label.strip_prefix("mem/") {
+        return run_mem_critpath_label(&args, rest);
+    }
     let Some(spec) = parse_cell_label(&args.label) else {
         eprintln!(
             "bad cell label {:?} (want config/engine/bench, e.g. table1/counter-mode/bfs)",
@@ -1253,19 +1297,631 @@ fn run_critpath_command(args: &[String]) -> i32 {
         tally.total(),
         result.ipc
     );
+    print_blame_table(tally);
     println!(
-        "  {:<14} {:>10} {:>8} {:>22}",
-        "class", "requests", "share", "mean stall after data"
+        "\nsampled {} of {} requests (deterministic reservoir; --samples to resize)",
+        tracer.sampled().len(),
+        tracer.total_requests()
     );
-    for &blame in Blame::ALL.iter() {
+    if let Some(path) = &args.json {
+        let artifact = critpath_json(&label, seed, tally, tracer.sampled().len());
+        if let Err(err) = std::fs::write(path, artifact) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return 1;
+        }
+        eprintln!("wrote blame artifact to {}", path.display());
+    }
+    if let Some(path) = &args.trace {
+        let trace = span_flow_json(&label, tracer.sampled());
+        if let Err(err) = std::fs::write(path, trace) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return 1;
+        }
         println!(
-            "  {:<14} {:>10} {:>7.1}% {:>19.2} ns",
-            blame.name(),
-            tally.count(blame),
-            tally.fraction(blame) * 100.0,
-            ns(tally.mean_stall_ps(blame)),
+            "wrote {} request spans with flow arrows to {} — open in Perfetto \
+             (https://ui.perfetto.dev) or chrome://tracing",
+            tracer.sampled().len(),
+            path.display()
         );
     }
+    0
+}
+
+// =====================================================================
+// mem — the clme-mem encrypted-memory library runner
+// =====================================================================
+
+struct MemArgs {
+    backend: String,
+    path: Option<PathBuf>,
+    blocks: u64,
+    ops: usize,
+    seed: u64,
+    samples: usize,
+    saturation: Option<u64>,
+    smoke: bool,
+    bench: bool,
+    critpath: Option<String>,
+    json: Option<PathBuf>,
+    trace: Option<PathBuf>,
+}
+
+fn mem_usage() -> ! {
+    eprintln!(
+        "usage: clme mem [--backend vec|file] [--path PATH] [--blocks N] [--ops N]\n\
+         \x20            [--seed HEX|DEC] [--saturation N] [--smoke | --bench |\n\
+         \x20            --critpath sweep|zipf] [--samples N] [--json PATH] [--trace PATH]\n\
+         \n\
+         Drives the clme-mem library — the counter-light scheme applied to a\n\
+         real backing store instead of the simulator. The default run is a\n\
+         demo: random batch writes checked against a plaintext model, one\n\
+         byte flipped in every stored-word region (ciphertext, MAC lane,\n\
+         parity lane, counter block, tree node) with the typed IntegrityError\n\
+         each flip provokes, a ciphertext splice, and a full rekey() sweep.\n\
+         \n\
+         --smoke     same checks, compact output, nonzero exit on any miss\n\
+         \x20        (this is the tier-1 CI entry point)\n\
+         --bench     batch write/read throughput and rekey sweep rate\n\
+         --critpath  trace reads with the span tracer and print the blame\n\
+         \x20        table (sweep = sequential, zipf = skewed; hot blocks\n\
+         \x20        saturate their counters and go counterless)\n\
+         --backend   vec (in-memory, default) or file (paged file store;\n\
+         \x20        --path to keep it, otherwise a temp file is used)\n\
+         --saturation counters above N switch the block to counterless mode\n\
+         \n\
+         example: clme mem --smoke --blocks 256\n\
+         example: clme mem --bench --backend file --blocks 8192\n\
+         example: clme mem --critpath zipf --json mem_blame.json"
+    );
+    std::process::exit(2)
+}
+
+fn parse_mem_args(args: &[String]) -> MemArgs {
+    let mut parsed = MemArgs {
+        backend: "vec".to_string(),
+        path: None,
+        blocks: 4096,
+        ops: 20_000,
+        seed: DEFAULT_MATRIX_SEED,
+        samples: clme_obs::DEFAULT_SPAN_SAMPLES,
+        saturation: None,
+        smoke: false,
+        bench: false,
+        critpath: None,
+        json: None,
+        trace: None,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                mem_usage()
+            })
+        };
+        match flag.as_str() {
+            "--backend" => {
+                parsed.backend = value("--backend");
+                if !matches!(parsed.backend.as_str(), "vec" | "file") {
+                    eprintln!("--backend must be vec or file");
+                    mem_usage()
+                }
+            }
+            "--path" => parsed.path = Some(PathBuf::from(value("--path"))),
+            "--blocks" => {
+                parsed.blocks = value("--blocks").parse().unwrap_or_else(|_| mem_usage());
+                if parsed.blocks == 0 {
+                    eprintln!("--blocks needs a positive count");
+                    mem_usage()
+                }
+            }
+            "--ops" => parsed.ops = value("--ops").parse().unwrap_or_else(|_| mem_usage()),
+            "--seed" => {
+                let text = value("--seed");
+                parsed.seed = if let Some(hex) = text.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).unwrap_or_else(|_| mem_usage())
+                } else {
+                    text.parse().unwrap_or_else(|_| mem_usage())
+                }
+            }
+            "--samples" => {
+                parsed.samples = value("--samples").parse().unwrap_or_else(|_| mem_usage())
+            }
+            "--saturation" => {
+                parsed.saturation =
+                    Some(value("--saturation").parse().unwrap_or_else(|_| mem_usage()))
+            }
+            "--smoke" => parsed.smoke = true,
+            "--bench" => parsed.bench = true,
+            "--critpath" => {
+                let pattern = value("--critpath");
+                if !matches!(pattern.as_str(), "sweep" | "zipf") {
+                    eprintln!("--critpath must be sweep or zipf");
+                    mem_usage()
+                }
+                parsed.critpath = Some(pattern);
+            }
+            "--json" => parsed.json = Some(PathBuf::from(value("--json"))),
+            "--trace" => parsed.trace = Some(PathBuf::from(value("--trace"))),
+            "--help" | "-h" => mem_usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                mem_usage()
+            }
+        }
+    }
+    if parsed.smoke as u8 + parsed.bench as u8 + parsed.critpath.is_some() as u8 > 1 {
+        eprintln!("--smoke, --bench, and --critpath are mutually exclusive");
+        mem_usage()
+    }
+    parsed
+}
+
+/// The layer's master key, derived from the run seed.
+fn mem_master_key(seed: u64, label: &[u8]) -> [u8; 32] {
+    let mut rng = SplitMix64::new(SplitMix64::new(seed).derive(label));
+    let mut key = [0u8; 32];
+    for chunk in key.chunks_mut(8) {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    key
+}
+
+fn mem_options(args: &MemArgs) -> LayerOptions {
+    let mut options = LayerOptions::default();
+    if let Some(saturation) = args.saturation {
+        options.counter_saturation = saturation;
+    } else if args.critpath.as_deref() == Some("zipf") {
+        // Let the zipf hot set overflow into counterless mode so the
+        // blame table shows both modes.
+        options.counter_saturation = 8;
+    }
+    options
+}
+
+/// A skewed block address: cubing a uniform sample concentrates mass
+/// near zero — a cheap stand-in for a Zipf-like hot set.
+fn mem_skewed_addr(rng: &mut SplitMix64, blocks: u64) -> u64 {
+    let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    (((unit * unit * unit) * blocks as f64) as u64).min(blocks - 1)
+}
+
+fn mem_pattern_block(rng: &mut SplitMix64) -> clme_mem::Block {
+    let mut block = [0u8; clme_mem::BLOCK_BYTES];
+    for chunk in block.chunks_mut(8) {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    block
+}
+
+fn run_mem_command(args: &[String]) -> i32 {
+    let args = parse_mem_args(args);
+    run_mem_with_args(&args)
+}
+
+/// `clme critpath mem/BACKEND/PATTERN` — the simulator's blame command
+/// pointed at the library.
+fn run_mem_critpath_label(args: &CritpathArgs, rest: &str) -> i32 {
+    let mut parts = rest.splitn(2, '/');
+    let backend = parts.next().unwrap_or("");
+    let pattern = parts.next().unwrap_or("sweep");
+    if !matches!(backend, "vec" | "file") || !matches!(pattern, "sweep" | "zipf") {
+        eprintln!("bad mem label mem/{rest:?} (want mem/vec|file/sweep|zipf)");
+        critpath_usage()
+    }
+    let mem_args = MemArgs {
+        backend: backend.to_string(),
+        path: None,
+        blocks: 4096,
+        ops: 20_000,
+        seed: args.seed,
+        samples: args.samples,
+        saturation: None,
+        smoke: false,
+        bench: false,
+        critpath: Some(pattern.to_string()),
+        json: args.json.clone(),
+        trace: args.trace.clone(),
+    };
+    run_mem_with_args(&mem_args)
+}
+
+fn run_mem_with_args(args: &MemArgs) -> i32 {
+    let master = mem_master_key(args.seed, b"mem/master");
+    let options = mem_options(args);
+    match args.backend.as_str() {
+        "file" => {
+            let (path, temporary) = match &args.path {
+                Some(path) => (path.clone(), false),
+                None => (
+                    std::env::temp_dir()
+                        .join(format!("clme-mem-{}.store", std::process::id())),
+                    true,
+                ),
+            };
+            let backend = match FileBackend::create_for_blocks(&path, args.blocks) {
+                Ok(backend) => backend,
+                Err(err) => {
+                    eprintln!("cannot create store at {}: {err}", path.display());
+                    return 1;
+                }
+            };
+            let layer = match EncryptionLayer::with_options(backend, args.blocks, master, options)
+            {
+                Ok(layer) => layer,
+                Err(err) => {
+                    eprintln!("cannot initialise layer: {err}");
+                    return 1;
+                }
+            };
+            let code = mem_dispatch(args, &layer);
+            drop(layer);
+            if temporary {
+                let _ = std::fs::remove_file(&path);
+            }
+            code
+        }
+        _ => {
+            let backend = VecBackend::for_blocks(args.blocks);
+            match EncryptionLayer::with_options(backend, args.blocks, master, options) {
+                Ok(layer) => mem_dispatch(args, &layer),
+                Err(err) => {
+                    eprintln!("cannot initialise layer: {err}");
+                    return 1;
+                }
+            }
+        }
+    }
+}
+
+fn mem_dispatch<B: StoreBackend>(args: &MemArgs, layer: &EncryptionLayer<B>) -> i32 {
+    if let Some(pattern) = &args.critpath {
+        mem_critpath(args, layer, pattern)
+    } else if args.bench {
+        mem_bench(args, layer)
+    } else {
+        mem_demo(args, layer, !args.smoke)
+    }
+}
+
+/// Write/read against a plaintext model, one tamper per stored-word
+/// region, a splice, and a rekey — the library's end-to-end story.
+/// `--smoke` runs the same checks with one-line output; any miss is a
+/// nonzero exit (the tier-1 CI hook).
+fn mem_demo<B: StoreBackend>(args: &MemArgs, layer: &EncryptionLayer<B>, verbose: bool) -> i32 {
+    use clme_mem::Region;
+    use std::collections::BTreeMap;
+
+    let geo = layer.geometry().clone();
+    if verbose {
+        let meta_words = geo.total_words() - geo.data_blocks();
+        println!(
+            "clme-mem demo: {} blocks ({} pages, {}-level tree, {} metadata words = {:.1}% overhead), backend {}",
+            geo.data_blocks(),
+            geo.pages(),
+            geo.levels(),
+            meta_words,
+            meta_words as f64 / geo.data_blocks() as f64 * 100.0,
+            args.backend,
+        );
+    }
+
+    // Phase 1: random batch writes mirrored into a plaintext model.
+    let mut rng = SplitMix64::new(SplitMix64::new(args.seed).derive(b"mem/demo"));
+    let mut model: BTreeMap<u64, clme_mem::Block> = BTreeMap::new();
+    let ops = args.ops.max(64);
+    let mut pending: Vec<(u64, clme_mem::Block)> = Vec::with_capacity(64);
+    for _ in 0..ops {
+        let addr = rng.below(geo.data_blocks());
+        let block = mem_pattern_block(&mut rng);
+        pending.push((addr, block));
+        if pending.len() == 64 {
+            if let Err(err) = layer.batch_write(&pending) {
+                eprintln!("batch_write failed: {err}");
+                return 1;
+            }
+            for (addr, block) in pending.drain(..) {
+                model.insert(addr, block);
+            }
+        }
+    }
+    if !pending.is_empty() {
+        if let Err(err) = layer.batch_write(&pending) {
+            eprintln!("batch_write failed: {err}");
+            return 1;
+        }
+        for (addr, block) in pending.drain(..) {
+            model.insert(addr, block);
+        }
+    }
+    let addrs: Vec<u64> = model.keys().copied().collect();
+    for chunk in addrs.chunks(64) {
+        let got = match layer.batch_read(chunk) {
+            Ok(got) => got,
+            Err(err) => {
+                eprintln!("batch_read failed: {err}");
+                return 1;
+            }
+        };
+        for (addr, block) in chunk.iter().zip(&got) {
+            if block != &model[addr] {
+                eprintln!("block {addr:#x} read back wrong");
+                return 1;
+            }
+        }
+    }
+    if verbose {
+        println!(
+            "wrote {ops} blocks ({} distinct), every read matches the plaintext model",
+            addrs.len()
+        );
+    }
+
+    // Phase 2: flip one byte in each stored-word region; every flip
+    // must surface as a typed IntegrityError and restoring the word
+    // must restore the read.
+    let victim = addrs[addrs.len() / 2];
+    let page = geo.page_of(victim);
+    let top = geo.levels() - 1;
+    let probes = [
+        ("ciphertext lane", geo.data_word(victim), 5usize, victim),
+        ("MAC lane", geo.data_word(victim), 64 + 2, victim),
+        ("parity lane", geo.data_word(victim), 72 + 1, victim),
+        (
+            "counter block",
+            geo.counter_word(page),
+            9,
+            geo.probe_addr(Region::CounterBlock { page }),
+        ),
+        (
+            "tree node",
+            geo.node_word(top, 0),
+            17,
+            geo.probe_addr(Region::TreeNode {
+                level: top as u8,
+                group: 0,
+            }),
+        ),
+    ];
+    for (what, word_index, byte, probe) in probes {
+        let original = match layer.backend().read_word(word_index) {
+            Ok(word) => word,
+            Err(err) => {
+                eprintln!("cannot read word {word_index}: {err}");
+                return 1;
+            }
+        };
+        let mut tampered = original;
+        tampered[byte] ^= 0x01;
+        layer.backend().write_word(word_index, &tampered).expect("in-bounds");
+        match layer.read_block(probe) {
+            Err(err) if err.integrity().is_some() => {
+                if verbose {
+                    println!("tamper {what:<16} -> caught: {err}");
+                }
+            }
+            Err(err) => {
+                eprintln!("tamper {what} raised a non-integrity error: {err}");
+                return 1;
+            }
+            Ok(_) => {
+                eprintln!("tamper {what} went UNDETECTED");
+                return 1;
+            }
+        }
+        layer.backend().write_word(word_index, &original).expect("in-bounds");
+        if layer.read_block(probe).is_err() {
+            eprintln!("restoring the {what} word did not restore the read");
+            return 1;
+        }
+    }
+
+    // Phase 3: splice two valid ciphertexts — both positions must fail.
+    let (a, b) = (addrs[0], addrs[addrs.len() - 1]);
+    let word_a = layer.backend().read_word(geo.data_word(a)).expect("in-bounds");
+    let word_b = layer.backend().read_word(geo.data_word(b)).expect("in-bounds");
+    layer.backend().write_word(geo.data_word(a), &word_b).expect("in-bounds");
+    layer.backend().write_word(geo.data_word(b), &word_a).expect("in-bounds");
+    if layer.read_block(a).is_ok() || layer.read_block(b).is_ok() {
+        eprintln!("splicing blocks {a:#x} and {b:#x} went UNDETECTED");
+        return 1;
+    }
+    layer.backend().write_word(geo.data_word(a), &word_a).expect("in-bounds");
+    layer.backend().write_word(geo.data_word(b), &word_b).expect("in-bounds");
+    if verbose {
+        println!("splice of two valid ciphertexts rejected at both positions");
+    }
+
+    // Phase 4: rekey and re-verify.
+    let report = match layer.rekey(mem_master_key(args.seed, b"mem/rekey")) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("rekey failed: {err}");
+            return 1;
+        }
+    };
+    for chunk in addrs.chunks(64) {
+        let got = match layer.batch_read(chunk) {
+            Ok(got) => got,
+            Err(err) => {
+                eprintln!("post-rekey batch_read failed: {err}");
+                return 1;
+            }
+        };
+        for (addr, block) in chunk.iter().zip(&got) {
+            if block != &model[addr] {
+                eprintln!("block {addr:#x} wrong after rekey");
+                return 1;
+            }
+        }
+    }
+    if verbose {
+        println!(
+            "rekey swept {} blocks over {} pages ({} counterless); all reads still match",
+            report.blocks, report.pages, report.counterless_blocks
+        );
+    } else {
+        println!(
+            "mem smoke ok: {} blocks, {} tamper probes caught, splice rejected, rekey swept {} blocks",
+            geo.data_blocks(),
+            probes.len(),
+            report.blocks
+        );
+    }
+    0
+}
+
+/// Batch write/read throughput and the rekey sweep rate.
+fn mem_bench<B: StoreBackend>(args: &MemArgs, layer: &EncryptionLayer<B>) -> i32 {
+    let blocks = layer.blocks();
+    let ops = args.ops.max(64);
+    let mut rng = SplitMix64::new(SplitMix64::new(args.seed).derive(b"mem/bench"));
+    let mib = |count: usize, secs: f64| count as f64 * 64.0 / (1024.0 * 1024.0) / secs;
+
+    let mut batch: Vec<(u64, clme_mem::Block)> = Vec::with_capacity(64);
+    let started = std::time::Instant::now();
+    let mut written = 0usize;
+    while written < ops {
+        batch.clear();
+        for _ in 0..64.min(ops - written) {
+            batch.push((rng.below(blocks), mem_pattern_block(&mut rng)));
+        }
+        if let Err(err) = layer.batch_write(&batch) {
+            eprintln!("batch_write failed: {err}");
+            return 1;
+        }
+        written += batch.len();
+    }
+    let write_secs = started.elapsed().as_secs_f64();
+
+    let mut read_addrs: Vec<u64> = Vec::with_capacity(64);
+    let started = std::time::Instant::now();
+    let mut read = 0usize;
+    while read < ops {
+        read_addrs.clear();
+        for _ in 0..64.min(ops - read) {
+            read_addrs.push(rng.below(blocks));
+        }
+        if let Err(err) = layer.batch_read(&read_addrs) {
+            eprintln!("batch_read failed: {err}");
+            return 1;
+        }
+        read += read_addrs.len();
+    }
+    let read_secs = started.elapsed().as_secs_f64();
+
+    let started = std::time::Instant::now();
+    let report = match layer.rekey(mem_master_key(args.seed, b"mem/bench-rekey")) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("rekey failed: {err}");
+            return 1;
+        }
+    };
+    let rekey_secs = started.elapsed().as_secs_f64();
+
+    println!(
+        "clme-mem bench: {} blocks, batches of 64, backend {}",
+        blocks, args.backend
+    );
+    println!(
+        "  {:<12} {:>10} {:>14} {:>12}",
+        "op", "blocks", "blocks/s", "MiB/s"
+    );
+    println!(
+        "  {:<12} {:>10} {:>14.0} {:>12.1}",
+        "batch_write",
+        written,
+        written as f64 / write_secs,
+        mib(written, write_secs)
+    );
+    println!(
+        "  {:<12} {:>10} {:>14.0} {:>12.1}",
+        "batch_read",
+        read,
+        read as f64 / read_secs,
+        mib(read, read_secs)
+    );
+    println!(
+        "  {:<12} {:>10} {:>14.0} {:>12.1}",
+        "rekey",
+        report.blocks,
+        report.blocks as f64 / rekey_secs,
+        mib(report.blocks as usize, rekey_secs)
+    );
+    0
+}
+
+/// Traced reads through the installed span tracer; prints the same
+/// blame table as `clme critpath`, but over the library's real latencies.
+fn mem_critpath<B: StoreBackend>(
+    args: &MemArgs,
+    layer: &EncryptionLayer<B>,
+    pattern: &str,
+) -> i32 {
+    let blocks = layer.blocks();
+    let label = format!("mem/{}/{pattern}", args.backend);
+    let seed = SplitMix64::new(args.seed).derive(label.as_bytes());
+    let mut rng = SplitMix64::new(seed);
+    eprintln!(
+        "tracing {label} ({} blocks, {} reads, reservoir of {} spans)",
+        blocks, args.ops, args.samples
+    );
+
+    // Populate: a sweep writes every block once; zipf hammers a hot set
+    // until its counters saturate and the blocks go counterless.
+    let mut batch: Vec<(u64, clme_mem::Block)> = Vec::with_capacity(64);
+    let writes = if pattern == "zipf" { args.ops.max(64) } else { blocks as usize };
+    let mut issued = 0usize;
+    while issued < writes {
+        batch.clear();
+        for _ in 0..64.min(writes - issued) {
+            let addr = if pattern == "zipf" {
+                mem_skewed_addr(&mut rng, blocks)
+            } else {
+                (issued + batch.len()) as u64 % blocks
+            };
+            batch.push((addr, mem_pattern_block(&mut rng)));
+        }
+        if let Err(err) = layer.batch_write(&batch) {
+            eprintln!("populate failed: {err}");
+            return 1;
+        }
+        issued += batch.len();
+    }
+    let counterless = (0..blocks)
+        .filter(|&addr| layer.is_counterless(addr).unwrap_or(false))
+        .count();
+
+    layer.install_tracer(SpanTracer::new(args.samples));
+    let mut read_addrs: Vec<u64> = Vec::with_capacity(64);
+    let mut read = 0usize;
+    while read < args.ops {
+        read_addrs.clear();
+        for _ in 0..64.min(args.ops - read) {
+            let addr = if pattern == "zipf" {
+                mem_skewed_addr(&mut rng, blocks)
+            } else {
+                (read + read_addrs.len()) as u64 % blocks
+            };
+            read_addrs.push(addr);
+        }
+        if let Err(err) = layer.batch_read(&read_addrs) {
+            eprintln!("traced read failed: {err}");
+            return 1;
+        }
+        read += read_addrs.len();
+    }
+    let tracer = layer.take_tracer().expect("tracer installed above");
+
+    let tally = tracer.tally();
+    println!(
+        "critical-path blame for {label}: {} classified reads ({} of {} blocks counterless)",
+        tally.total(),
+        counterless,
+        blocks
+    );
+    print_blame_table(tally);
     println!(
         "\nsampled {} of {} requests (deterministic reservoir; --samples to resize)",
         tracer.sampled().len(),
@@ -1583,6 +2239,7 @@ fn main() {
         Some("trace") => std::process::exit(run_trace_command(&all[1..])),
         Some("critpath") => std::process::exit(run_critpath_command(&all[1..])),
         Some("series") => std::process::exit(run_series_matrix_command(&all[1..])),
+        Some("mem") => std::process::exit(run_mem_command(&all[1..])),
         _ => {}
     }
     let args = parse_args();

@@ -1,0 +1,42 @@
+//! The plaintext-facing memory abstract data type.
+//!
+//! The shape follows Cosmian findex's `MemoryADT`: a thread-safe,
+//! batch-oriented word store that an encryption layer can wrap while
+//! implementing the same trait itself. Here the word is the 64-byte
+//! memory block every other crate in the workspace works in.
+
+use crate::error::MemError;
+
+/// Bytes per plaintext block (one DDR burst, the paper's unit).
+pub const BLOCK_BYTES: usize = 64;
+
+/// One plaintext memory block.
+pub type Block = [u8; BLOCK_BYTES];
+
+/// A thread-safe, batch-oriented store of 64-byte blocks.
+///
+/// Implementations take `&self` for both directions — interior locking
+/// is the implementation's concern — so a layer can be shared across
+/// threads behind a plain reference or an `Arc`.
+pub trait MemoryAdt: Send + Sync {
+    /// Number of addressable blocks.
+    fn blocks(&self) -> u64;
+
+    /// Reads the blocks at `addrs`, in order. Duplicates are allowed.
+    fn batch_read(&self, addrs: &[u64]) -> Result<Vec<Block>, MemError>;
+
+    /// Writes the given `(addr, block)` pairs. Writes to the same
+    /// address apply in slice order; the batch as a whole is not
+    /// atomic (each block individually is).
+    fn batch_write(&self, writes: &[(u64, Block)]) -> Result<(), MemError>;
+
+    /// Convenience single-block read.
+    fn read_block(&self, addr: u64) -> Result<Block, MemError> {
+        Ok(self.batch_read(std::slice::from_ref(&addr))?[0])
+    }
+
+    /// Convenience single-block write.
+    fn write_block(&self, addr: u64, block: &Block) -> Result<(), MemError> {
+        self.batch_write(&[(addr, *block)])
+    }
+}

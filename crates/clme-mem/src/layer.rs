@@ -1,0 +1,1052 @@
+//! The encryption layer: counter-light applied to a backing store.
+//!
+//! # Stored formats
+//!
+//! *Data words* are [`EncodedBlock`]s — 8 ciphertext lanes, the MAC
+//! lane, and the parity lane carrying the EncryptionMetadata word
+//! (Section IV-C), so a read learns the block's mode and counter from
+//! the block itself. *Counter words* hold a serialized
+//! [`CounterBlock`] image sealed by a keyed SHA-3 MAC that also binds
+//! the page's integrity-tree leaf count. *Tree-node words* hold eight
+//! child counters each; a node's MAC binds its parent's counter, and
+//! the topmost parent — the root — lives only inside the layer, which
+//! is what defeats wholesale replay of stale metadata.
+//!
+//! # Verification chain
+//!
+//! Every read walks root → tree path → counter word → data word:
+//! each hop's MAC is checked before its contents are trusted, the
+//! decoded metadata word must match the verified counter exactly, and
+//! the block MAC is checked last. The first mismatch aborts with an
+//! [`IntegrityError`] naming the stage.
+//!
+//! # Locking
+//!
+//! Pages shard across reader-writer locks (page → shard by modulo);
+//! the tree root has its own lock, always taken *after* a shard lock,
+//! so disjoint pages proceed in parallel, a page roll (64 blocks
+//! re-encrypted under one shard lock) is atomic, and [`rekey`] gets
+//! global exclusivity by taking every shard lock in ascending order.
+//!
+//! [`rekey`]: EncryptionLayer::rekey
+
+use crate::adt::{Block, MemoryAdt, BLOCK_BYTES};
+use crate::error::{IntegrityError, MemError, TamperClass};
+use crate::geometry::{Geometry, Region, NODE_ARITY, PAGE_BLOCKS};
+use crate::store::{StoreBackend, StoredWord, WORD_BYTES};
+use clme_counters::split::CounterBlock;
+use clme_crypto::keys::KeyMaterial;
+use clme_crypto::mac::counterless_mac;
+use clme_crypto::otp::xor64;
+use clme_crypto::sha3::sha3_tag64;
+use clme_ecc::codec;
+use clme_ecc::encmeta::{MetaWord, COUNTERLESS_FLAG, MAX_COUNTER};
+use clme_ecc::layout::EncodedBlock;
+use clme_obs::span::{SpanKind, SpanTracer};
+use clme_obs::TraceSink;
+use clme_types::Time;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::Instant;
+
+/// Tuning knobs for an [`EncryptionLayer`].
+#[derive(Clone, Copy, Debug)]
+pub struct LayerOptions {
+    /// Counters above this value switch the block to counterless (XTS)
+    /// mode permanently — the paper's overflow fallback. The default is
+    /// the metadata word's own limit; tests lower it to exercise the
+    /// counterless path in a handful of writes.
+    pub counter_saturation: u64,
+    /// Number of page-shard locks.
+    pub shards: usize,
+}
+
+impl Default for LayerOptions {
+    fn default() -> LayerOptions {
+        LayerOptions {
+            counter_saturation: MAX_COUNTER as u64,
+            shards: 16,
+        }
+    }
+}
+
+/// What a [`EncryptionLayer::rekey`] sweep touched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RekeyReport {
+    /// Pages whose metadata was resealed.
+    pub pages: u64,
+    /// Data blocks re-encrypted.
+    pub blocks: u64,
+    /// How many of those were counterless at rekey time.
+    pub counterless_blocks: u64,
+}
+
+/// One verified tree node on a page's path (leaf level first).
+struct PathNode {
+    level: usize,
+    group: u64,
+    slot: usize,
+    counters: [u64; NODE_ARITY as usize],
+    reserved: [u8; 8],
+}
+
+/// A page's verified metadata: its counter block plus the tree path,
+/// ready for an in-place bump on writes.
+struct VerifiedPage {
+    cb: CounterBlock,
+    path: Vec<PathNode>,
+}
+
+/// Host-clock marks of one read, converted to [`Time`] only when a
+/// tracer is installed.
+struct ReadMarks {
+    issue: Instant,
+    /// Pre-data OTP pad generation (counter mode only) — the overlap
+    /// the paper's scheme exists to exploit.
+    pad: Option<(Instant, Instant)>,
+    data: (Instant, Instant),
+    ecc: (Instant, Instant),
+    mac: (Instant, Instant),
+    /// Post-data XTS decrypt (counterless only).
+    xts: Option<(Instant, Instant)>,
+    ready: Instant,
+}
+
+/// The counter-light encryption layer over a backing store.
+///
+/// See the [module docs](self) for formats, verification, and locking.
+pub struct EncryptionLayer<B: StoreBackend> {
+    backend: B,
+    geo: Geometry,
+    keys: RwLock<Arc<KeyMaterial>>,
+    shards: Box<[RwLock<()>]>,
+    /// The on-chip tree root: total metadata writes, never stored.
+    tree: RwLock<u64>,
+    saturation: u64,
+    tracer: Mutex<Option<SpanTracer>>,
+    tracing: AtomicBool,
+    epoch: Instant,
+}
+
+const NODE_MAC_DOMAIN: &[u8] = b"clme-mem:node-mac:v1";
+const CB_MAC_DOMAIN: &[u8] = b"clme-mem:cb-mac:v1";
+
+fn node_mac(
+    key: &[u8; 32],
+    level: u8,
+    group: u64,
+    counters: &[u8; 64],
+    parent: u64,
+    reserved: &[u8; 8],
+) -> u64 {
+    sha3_tag64(
+        NODE_MAC_DOMAIN,
+        &[
+            key,
+            &[level],
+            &group.to_le_bytes(),
+            counters,
+            &parent.to_le_bytes(),
+            reserved,
+        ],
+    )
+}
+
+fn cb_mac(key: &[u8; 32], page: u64, image: &[u8; 64], leaf_count: u64, reserved: &[u8; 8]) -> u64 {
+    sha3_tag64(
+        CB_MAC_DOMAIN,
+        &[
+            key,
+            &page.to_le_bytes(),
+            image,
+            &leaf_count.to_le_bytes(),
+            reserved,
+        ],
+    )
+}
+
+fn encode_word(block: &EncodedBlock) -> StoredWord {
+    let mut word = [0u8; WORD_BYTES];
+    word[..64].copy_from_slice(&block.data());
+    word[64..72].copy_from_slice(&block.mac.to_le_bytes());
+    word[72..80].copy_from_slice(&block.parity.to_le_bytes());
+    word
+}
+
+fn decode_word(word: &StoredWord) -> EncodedBlock {
+    EncodedBlock::from_data(
+        word[..64].try_into().expect("64-byte payload"),
+        u64::from_le_bytes(word[64..72].try_into().expect("8-byte mac lane")),
+        u64::from_le_bytes(word[72..80].try_into().expect("8-byte parity lane")),
+    )
+}
+
+/// Encrypts one block under its counter (or counterless past
+/// saturation) into the stored-word form.
+fn encrypt_one(
+    keys: &KeyMaterial,
+    addr: u64,
+    plaintext: &Block,
+    counter: u64,
+    saturation: u64,
+) -> StoredWord {
+    let block = if counter > saturation {
+        let ct = keys.xts().encrypt_block64(addr, plaintext);
+        let mac = counterless_mac(keys.counterless_mac_key(), addr, &ct, COUNTERLESS_FLAG);
+        codec::encode(&ct, mac, MetaWord::counterless())
+    } else {
+        let ct = keys.otp().encrypt_block64(addr, counter, plaintext);
+        let otp_trunc = keys.otp().pad_trunc64(addr, counter);
+        let mac = keys
+            .counter_mode_mac()
+            .tag(otp_trunc, plaintext, counter as u32);
+        codec::encode(&ct, mac, MetaWord::counter(counter as u32))
+    };
+    encode_word(&block)
+}
+
+/// Verifies and decrypts one stored data word against its verified
+/// counter: metadata word first, then the block MAC.
+fn decrypt_verify(
+    keys: &KeyMaterial,
+    addr: u64,
+    word: &StoredWord,
+    counter: u64,
+    saturation: u64,
+) -> Result<Block, IntegrityError> {
+    let counterless = counter > saturation;
+    let block = decode_word(word);
+    let expected = if counterless {
+        MetaWord::counterless()
+    } else {
+        MetaWord::counter(counter as u32)
+    };
+    if codec::decode_meta(&block) != expected {
+        return Err(IntegrityError {
+            addr,
+            class: TamperClass::Meta,
+        });
+    }
+    let ct = block.data();
+    if counterless {
+        if counterless_mac(keys.counterless_mac_key(), addr, &ct, COUNTERLESS_FLAG) != block.mac {
+            return Err(IntegrityError {
+                addr,
+                class: TamperClass::DataMac,
+            });
+        }
+        Ok(keys.xts().decrypt_block64(addr, &ct))
+    } else {
+        let pt = keys.otp().decrypt_block64(addr, counter, &ct);
+        let otp_trunc = keys.otp().pad_trunc64(addr, counter);
+        if keys.counter_mode_mac().tag(otp_trunc, &pt, counter as u32) != block.mac {
+            return Err(IntegrityError {
+                addr,
+                class: TamperClass::DataMac,
+            });
+        }
+        Ok(pt)
+    }
+}
+
+impl<B: StoreBackend> EncryptionLayer<B> {
+    /// Initializes a fresh layer: every block encrypted as zeros at
+    /// counter 0, all metadata sealed, root 0. The backend must be
+    /// sized by [`Geometry::for_blocks`]`(data_blocks).total_words()`.
+    pub fn new(backend: B, data_blocks: u64, master: [u8; 32]) -> Result<EncryptionLayer<B>, MemError> {
+        EncryptionLayer::with_options(backend, data_blocks, master, LayerOptions::default())
+    }
+
+    /// [`EncryptionLayer::new`] with explicit options.
+    pub fn with_options(
+        backend: B,
+        data_blocks: u64,
+        master: [u8; 32],
+        options: LayerOptions,
+    ) -> Result<EncryptionLayer<B>, MemError> {
+        let layer = EncryptionLayer::attach_with_options(backend, data_blocks, master, 0, options)?;
+        layer.initial_sweep()?;
+        Ok(layer)
+    }
+
+    /// Adopts a backend that already holds encrypted state (written by
+    /// a previous layer under the same master key), without touching
+    /// it. `root` must be the value [`EncryptionLayer::root`] reported
+    /// when the state was last written — the root is the layer's
+    /// anti-replay anchor and is deliberately never stored.
+    pub fn attach(
+        backend: B,
+        data_blocks: u64,
+        master: [u8; 32],
+        root: u64,
+    ) -> Result<EncryptionLayer<B>, MemError> {
+        EncryptionLayer::attach_with_options(backend, data_blocks, master, root, LayerOptions::default())
+    }
+
+    /// [`EncryptionLayer::attach`] with explicit options.
+    pub fn attach_with_options(
+        backend: B,
+        data_blocks: u64,
+        master: [u8; 32],
+        root: u64,
+        options: LayerOptions,
+    ) -> Result<EncryptionLayer<B>, MemError> {
+        assert!(
+            options.counter_saturation <= MAX_COUNTER as u64,
+            "saturation must leave the counter encodable in the metadata word"
+        );
+        assert!(options.shards >= 1, "at least one shard lock");
+        let geo = Geometry::for_blocks(data_blocks);
+        if backend.words() != geo.total_words() {
+            return Err(MemError::GeometryMismatch {
+                expected_words: geo.total_words(),
+                actual_words: backend.words(),
+            });
+        }
+        let shards = (0..options.shards)
+            .map(|_| RwLock::new(()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ok(EncryptionLayer {
+            backend,
+            geo,
+            keys: RwLock::new(Arc::new(KeyMaterial::from_master(master))),
+            shards,
+            tree: RwLock::new(root),
+            saturation: options.counter_saturation,
+            tracer: Mutex::new(None),
+            tracing: AtomicBool::new(false),
+            epoch: Instant::now(),
+        })
+    }
+
+    /// The layout this layer manages.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// The current on-chip tree root. Save it alongside a persistent
+    /// backend to [`EncryptionLayer::attach`] later; a wrong root makes
+    /// every read fail tree verification.
+    pub fn root(&self) -> u64 {
+        *self.tree.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The raw backing store — the adversary's view of physical
+    /// memory. Tamper tests (and the CLI demo) flip bytes here, below
+    /// the encryption layer; the layer must catch every such flip.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Dismantles the layer, returning the backing store.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+
+    /// The verified write counter of a block (counts past the
+    /// saturation point mean the block is counterless).
+    pub fn counter_of(&self, addr: u64) -> Result<u64, MemError> {
+        self.check_addr(addr)?;
+        let page = self.geo.page_of(addr);
+        let _shard = self.shard(page).read().unwrap_or_else(PoisonError::into_inner);
+        let keys = self.keys();
+        let root = self.tree.read().unwrap_or_else(PoisonError::into_inner);
+        let v = self.verify_page(&keys, page, *root, addr)?;
+        Ok(v.cb.counter(self.geo.slot_of(addr)))
+    }
+
+    /// Whether a block has switched to counterless (XTS) mode.
+    pub fn is_counterless(&self, addr: u64) -> Result<bool, MemError> {
+        Ok(self.counter_of(addr)? > self.saturation)
+    }
+
+    /// Installs a span tracer; subsequent reads emit request spans.
+    pub fn install_tracer(&self, tracer: SpanTracer) {
+        *self.tracer.lock().unwrap_or_else(PoisonError::into_inner) = Some(tracer);
+        self.tracing.store(true, Ordering::SeqCst);
+    }
+
+    /// Removes and returns the tracer, stopping span emission.
+    pub fn take_tracer(&self) -> Option<SpanTracer> {
+        self.tracing.store(false, Ordering::SeqCst);
+        self.tracer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
+
+    /// Re-encrypts every block and reseals all metadata under a new
+    /// master key, online: the sweep takes every shard lock, so it
+    /// serializes against all traffic but needs no restart. Counters
+    /// and the root are preserved (pads differ by key, so keeping the
+    /// counters reuses no nonce). Afterwards nothing in the store
+    /// verifies — let alone decrypts — under the old key.
+    pub fn rekey(&self, new_master: [u8; 32]) -> Result<RekeyReport, MemError> {
+        let _guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.write().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        let root = self.tree.write().unwrap_or_else(PoisonError::into_inner);
+        let old = self.keys();
+        let new = KeyMaterial::from_master(new_master);
+        let old_mkey = old.counterless_mac_key();
+        let new_mkey = new.counterless_mac_key();
+
+        // Reseal the tree top-down, verifying under the old key as we
+        // descend; each level's counters are the next level's parents.
+        let mut parents: Vec<u64> = vec![*root];
+        let mut leaf_counts: Vec<u64> = Vec::new();
+        for level in (0..self.geo.levels()).rev() {
+            let mut flat = Vec::with_capacity((self.geo.node_count(level) * NODE_ARITY) as usize);
+            for group in 0..self.geo.node_count(level) {
+                let index = self.geo.node_word(level, group);
+                let mut word = self.backend.read_word(index)?;
+                let counters: [u8; 64] = word[..64].try_into().expect("64-byte counters");
+                let reserved: [u8; 8] = word[72..80].try_into().expect("8-byte reserved");
+                let stored = u64::from_le_bytes(word[64..72].try_into().expect("8-byte mac"));
+                let parent = parents[group as usize];
+                let level8 = level as u8;
+                if node_mac(old_mkey, level8, group, &counters, parent, &reserved) != stored {
+                    return Err(IntegrityError {
+                        addr: self.geo.probe_addr(Region::TreeNode { level: level8, group }),
+                        class: TamperClass::TreeNode { level: level8 },
+                    }
+                    .into());
+                }
+                let mac = node_mac(new_mkey, level8, group, &counters, parent, &reserved);
+                word[64..72].copy_from_slice(&mac.to_le_bytes());
+                self.backend.write_word(index, &word)?;
+                for j in 0..NODE_ARITY as usize {
+                    flat.push(u64::from_le_bytes(
+                        word[8 * j..8 * j + 8].try_into().expect("8-byte counter"),
+                    ));
+                }
+            }
+            if level == 0 {
+                leaf_counts = flat;
+            } else {
+                parents = flat;
+            }
+        }
+
+        let mut blocks = 0u64;
+        let mut counterless_blocks = 0u64;
+        for page in 0..self.geo.pages() {
+            let index = self.geo.counter_word(page);
+            let mut word = self.backend.read_word(index)?;
+            let image: [u8; 64] = word[..64].try_into().expect("64-byte image");
+            let reserved: [u8; 8] = word[72..80].try_into().expect("8-byte reserved");
+            let stored = u64::from_le_bytes(word[64..72].try_into().expect("8-byte mac"));
+            let leaf = leaf_counts[page as usize];
+            if cb_mac(old_mkey, page, &image, leaf, &reserved) != stored {
+                return Err(IntegrityError {
+                    addr: page * PAGE_BLOCKS,
+                    class: TamperClass::CounterBlock,
+                }
+                .into());
+            }
+            let mac = cb_mac(new_mkey, page, &image, leaf, &reserved);
+            word[64..72].copy_from_slice(&mac.to_le_bytes());
+            self.backend.write_word(index, &word)?;
+
+            let cb = CounterBlock::from_bytes(&image);
+            let first = page * PAGE_BLOCKS;
+            let last = (first + PAGE_BLOCKS).min(self.geo.data_blocks());
+            for addr in first..last {
+                let counter = cb.counter(self.geo.slot_of(addr));
+                let data = self.backend.read_word(self.geo.data_word(addr))?;
+                let pt = decrypt_verify(&old, addr, &data, counter, self.saturation)?;
+                self.backend.write_word(
+                    self.geo.data_word(addr),
+                    &encrypt_one(&new, addr, &pt, counter, self.saturation),
+                )?;
+                blocks += 1;
+                if counter > self.saturation {
+                    counterless_blocks += 1;
+                }
+            }
+        }
+        drop(root);
+        *self.keys.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(new);
+        Ok(RekeyReport {
+            pages: self.geo.pages(),
+            blocks,
+            counterless_blocks,
+        })
+    }
+
+    fn keys(&self) -> Arc<KeyMaterial> {
+        self.keys
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn shard(&self, page: u64) -> &RwLock<()> {
+        &self.shards[(page % self.shards.len() as u64) as usize]
+    }
+
+    fn check_addr(&self, addr: u64) -> Result<(), MemError> {
+        if addr < self.geo.data_blocks() {
+            Ok(())
+        } else {
+            Err(MemError::OutOfBounds {
+                index: addr,
+                limit: self.geo.data_blocks(),
+            })
+        }
+    }
+
+    fn t(&self, at: Instant) -> Time {
+        let ns = at.saturating_duration_since(self.epoch).as_nanos() as u64;
+        Time::from_picos(ns.saturating_mul(1000))
+    }
+
+    /// Writes the boot-time state: zeroed counters, sealed metadata,
+    /// every block encrypted as zeros at counter 0.
+    fn initial_sweep(&self) -> Result<(), MemError> {
+        let keys = self.keys();
+        let mkey = keys.counterless_mac_key();
+        let zero_counters = [0u8; 64];
+        for level in 0..self.geo.levels() {
+            for group in 0..self.geo.node_count(level) {
+                let mut word = [0u8; WORD_BYTES];
+                let mac = node_mac(mkey, level as u8, group, &zero_counters, 0, &[0u8; 8]);
+                word[64..72].copy_from_slice(&mac.to_le_bytes());
+                self.backend.write_word(self.geo.node_word(level, group), &word)?;
+            }
+        }
+        let image = CounterBlock::new().to_bytes();
+        for page in 0..self.geo.pages() {
+            let mut word = [0u8; WORD_BYTES];
+            word[..64].copy_from_slice(&image);
+            let mac = cb_mac(mkey, page, &image, 0, &[0u8; 8]);
+            word[64..72].copy_from_slice(&mac.to_le_bytes());
+            self.backend.write_word(self.geo.counter_word(page), &word)?;
+        }
+        let zeros = [0u8; BLOCK_BYTES];
+        for addr in 0..self.geo.data_blocks() {
+            self.backend.write_word(
+                self.geo.data_word(addr),
+                &encrypt_one(&keys, addr, &zeros, 0, self.saturation),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Verifies a page's tree path (top-down from the root) and its
+    /// counter word, returning the trusted metadata.
+    fn verify_page(
+        &self,
+        keys: &KeyMaterial,
+        page: u64,
+        root: u64,
+        err_addr: u64,
+    ) -> Result<VerifiedPage, MemError> {
+        let mkey = keys.counterless_mac_key();
+        let spec = self.geo.path(page);
+        let mut nodes: Vec<PathNode> = Vec::with_capacity(spec.len());
+        let mut parent = root;
+        for &(level, group, slot) in spec.iter().rev() {
+            let word = self.backend.read_word(self.geo.node_word(level, group))?;
+            let counters_bytes: [u8; 64] = word[..64].try_into().expect("64-byte counters");
+            let reserved: [u8; 8] = word[72..80].try_into().expect("8-byte reserved");
+            let stored = u64::from_le_bytes(word[64..72].try_into().expect("8-byte mac"));
+            if node_mac(mkey, level as u8, group, &counters_bytes, parent, &reserved) != stored {
+                return Err(IntegrityError {
+                    addr: err_addr,
+                    class: TamperClass::TreeNode { level: level as u8 },
+                }
+                .into());
+            }
+            let mut counters = [0u64; NODE_ARITY as usize];
+            for (j, counter) in counters.iter_mut().enumerate() {
+                *counter =
+                    u64::from_le_bytes(word[8 * j..8 * j + 8].try_into().expect("8-byte counter"));
+            }
+            parent = counters[slot];
+            nodes.push(PathNode {
+                level,
+                group,
+                slot,
+                counters,
+                reserved,
+            });
+        }
+        nodes.reverse();
+        let leaf_count = parent;
+        let word = self.backend.read_word(self.geo.counter_word(page))?;
+        let image: [u8; 64] = word[..64].try_into().expect("64-byte image");
+        let reserved: [u8; 8] = word[72..80].try_into().expect("8-byte reserved");
+        let stored = u64::from_le_bytes(word[64..72].try_into().expect("8-byte mac"));
+        if cb_mac(mkey, page, &image, leaf_count, &reserved) != stored {
+            return Err(IntegrityError {
+                addr: err_addr,
+                class: TamperClass::CounterBlock,
+            }
+            .into());
+        }
+        Ok(VerifiedPage {
+            cb: CounterBlock::from_bytes(&image),
+            path: nodes,
+        })
+    }
+
+    /// Bumps the page's leaf count up the whole path (and the root),
+    /// then rewrites the path's node words and the counter word with
+    /// fresh MACs. Caller holds the shard write lock and `root`.
+    fn commit_metadata(
+        &self,
+        keys: &KeyMaterial,
+        page: u64,
+        v: &mut VerifiedPage,
+        root: &mut u64,
+    ) -> Result<(), MemError> {
+        let mkey = keys.counterless_mac_key();
+        *root += 1;
+        for node in v.path.iter_mut() {
+            node.counters[node.slot] += 1;
+        }
+        let levels = v.path.len();
+        for i in 0..levels {
+            // The parent of the path node at level i is the path
+            // counter at level i+1 (just bumped), or the root on top.
+            let parent = if i + 1 < levels {
+                let up = &v.path[i + 1];
+                up.counters[up.slot]
+            } else {
+                *root
+            };
+            let node = &v.path[i];
+            let mut word = [0u8; WORD_BYTES];
+            for (j, counter) in node.counters.iter().enumerate() {
+                word[8 * j..8 * j + 8].copy_from_slice(&counter.to_le_bytes());
+            }
+            word[72..80].copy_from_slice(&node.reserved);
+            let counters_bytes: [u8; 64] = word[..64].try_into().expect("64-byte counters");
+            let mac = node_mac(mkey, node.level as u8, node.group, &counters_bytes, parent, &node.reserved);
+            word[64..72].copy_from_slice(&mac.to_le_bytes());
+            self.backend
+                .write_word(self.geo.node_word(node.level, node.group), &word)?;
+        }
+        let leaf = v.path[0].counters[v.path[0].slot];
+        let image = v.cb.to_bytes();
+        let mut word = [0u8; WORD_BYTES];
+        word[..64].copy_from_slice(&image);
+        let mac = cb_mac(mkey, page, &image, leaf, &[0u8; 8]);
+        word[64..72].copy_from_slice(&mac.to_le_bytes());
+        self.backend.write_word(self.geo.counter_word(page), &word)?;
+        Ok(())
+    }
+
+    /// Reads, verifies, and decrypts one block whose counter is
+    /// already verified, collecting host-clock span marks.
+    fn read_one(
+        &self,
+        keys: &KeyMaterial,
+        addr: u64,
+        counter: u64,
+    ) -> Result<(Block, ReadMarks), MemError> {
+        let counterless = counter > self.saturation;
+        let issue = Instant::now();
+        // Counter mode generates the pad *before* touching the store —
+        // the overlap the scheme is built around.
+        let mut pad_bytes = None;
+        let pad = if counterless {
+            None
+        } else {
+            let p0 = Instant::now();
+            pad_bytes = Some(keys.otp().pad_block64(addr, counter));
+            Some((p0, Instant::now()))
+        };
+        let d0 = Instant::now();
+        let word = self.backend.read_word(self.geo.data_word(addr))?;
+        let d1 = Instant::now();
+        let e0 = Instant::now();
+        let block = decode_word(&word);
+        let expected = if counterless {
+            MetaWord::counterless()
+        } else {
+            MetaWord::counter(counter as u32)
+        };
+        if codec::decode_meta(&block) != expected {
+            return Err(IntegrityError {
+                addr,
+                class: TamperClass::Meta,
+            }
+            .into());
+        }
+        let e1 = Instant::now();
+        let ct = block.data();
+        let (pt, mac, xts) = if counterless {
+            let m0 = Instant::now();
+            if counterless_mac(keys.counterless_mac_key(), addr, &ct, COUNTERLESS_FLAG) != block.mac
+            {
+                return Err(IntegrityError {
+                    addr,
+                    class: TamperClass::DataMac,
+                }
+                .into());
+            }
+            let m1 = Instant::now();
+            let x0 = Instant::now();
+            let pt = keys.xts().decrypt_block64(addr, &ct);
+            (pt, (m0, m1), Some((x0, Instant::now())))
+        } else {
+            let pad_bytes = pad_bytes.as_ref().expect("pad precomputed in counter mode");
+            let pt = xor64(&ct, pad_bytes);
+            let m0 = Instant::now();
+            let otp_trunc = u64::from_le_bytes(pad_bytes[..8].try_into().expect("64-byte pad"));
+            if keys.counter_mode_mac().tag(otp_trunc, &pt, counter as u32) != block.mac {
+                return Err(IntegrityError {
+                    addr,
+                    class: TamperClass::DataMac,
+                }
+                .into());
+            }
+            (pt, (m0, Instant::now()), None)
+        };
+        let ready = Instant::now();
+        Ok((
+            pt,
+            ReadMarks {
+                issue,
+                pad,
+                data: (d0, d1),
+                ecc: (e0, e1),
+                mac,
+                xts,
+                ready,
+            },
+        ))
+    }
+
+    /// Replays a page group's reads into the installed tracer. The
+    /// page's metadata verify is the counter fetch: the first request
+    /// carries its real interval, later ones a point span (they hit
+    /// the just-verified page, like a counter-cache hit).
+    fn emit_read_spans(&self, meta0: Instant, meta1: Instant, requests: &[(u64, ReadMarks)]) {
+        let mut guard = self.tracer.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(tracer) = guard.as_mut() else {
+            return;
+        };
+        for (i, (addr, m)) in requests.iter().enumerate() {
+            let (issue, c0, c1) = if i == 0 {
+                (meta0, meta0, meta1)
+            } else {
+                (m.issue, m.issue, m.issue)
+            };
+            tracer.span_request_begin(self.t(issue), *addr);
+            tracer.span_child(SpanKind::CounterFetch, 0, self.t(c0), self.t(c1));
+            if let Some((p0, p1)) = m.pad {
+                tracer.span_child(SpanKind::PadAes, 0, self.t(p0), self.t(p1));
+            }
+            tracer.span_child(SpanKind::DataDram, 0, self.t(m.data.0), self.t(m.data.1));
+            tracer.span_child(SpanKind::EccDecode, 0, self.t(m.ecc.0), self.t(m.ecc.1));
+            tracer.span_child(SpanKind::MacFetch, 0, self.t(m.mac.0), self.t(m.mac.1));
+            if let Some((x0, x1)) = m.xts {
+                tracer.span_child(SpanKind::PadAes, 0, self.t(x0), self.t(x1));
+            }
+            tracer.span_request_end(self.t(m.data.1), self.t(m.ready));
+        }
+    }
+}
+
+impl<B: StoreBackend> MemoryAdt for EncryptionLayer<B> {
+    fn blocks(&self) -> u64 {
+        self.geo.data_blocks()
+    }
+
+    fn batch_read(&self, addrs: &[u64]) -> Result<Vec<Block>, MemError> {
+        for &addr in addrs {
+            self.check_addr(addr)?;
+        }
+        let mut out = vec![[0u8; BLOCK_BYTES]; addrs.len()];
+        let mut by_page: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, &addr) in addrs.iter().enumerate() {
+            by_page.entry(self.geo.page_of(addr)).or_default().push(i);
+        }
+        let tracing = self.tracing.load(Ordering::Relaxed);
+        for (page, idxs) in by_page {
+            let _shard = self.shard(page).read().unwrap_or_else(PoisonError::into_inner);
+            let keys = self.keys();
+            let meta0 = Instant::now();
+            let v = {
+                let root = self.tree.read().unwrap_or_else(PoisonError::into_inner);
+                self.verify_page(&keys, page, *root, addrs[idxs[0]])?
+            };
+            let meta1 = Instant::now();
+            let mut traced: Vec<(u64, ReadMarks)> = Vec::new();
+            for &i in &idxs {
+                let addr = addrs[i];
+                let counter = v.cb.counter(self.geo.slot_of(addr));
+                let (block, marks) = self.read_one(&keys, addr, counter)?;
+                out[i] = block;
+                if tracing {
+                    traced.push((addr, marks));
+                }
+            }
+            if tracing {
+                self.emit_read_spans(meta0, meta1, &traced);
+            }
+        }
+        Ok(out)
+    }
+
+    fn batch_write(&self, writes: &[(u64, Block)]) -> Result<(), MemError> {
+        for &(addr, _) in writes {
+            self.check_addr(addr)?;
+        }
+        let mut by_page: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, &(addr, _)) in writes.iter().enumerate() {
+            by_page.entry(self.geo.page_of(addr)).or_default().push(i);
+        }
+        for (page, idxs) in by_page {
+            let _shard = self.shard(page).write().unwrap_or_else(PoisonError::into_inner);
+            let keys = self.keys();
+            let mut root = self.tree.write().unwrap_or_else(PoisonError::into_inner);
+            let mut v = self.verify_page(&keys, page, *root, writes[idxs[0]].0)?;
+            for &i in &idxs {
+                let (addr, block) = writes[i];
+                let slot = self.geo.slot_of(addr);
+                let old_cb = v.cb.clone();
+                let outcome = v.cb.increment(slot);
+                // On a page roll, verify and decrypt every co-resident
+                // block under its old counter *before* committing
+                // anything, so a tampered neighbour aborts cleanly.
+                let mut reencrypt: Vec<(u64, Block, u64)> = Vec::new();
+                if let Some(others) = &outcome.page_reencryption {
+                    for &(other_slot, new_counter) in others {
+                        let other_addr = page * PAGE_BLOCKS + other_slot as u64;
+                        if other_addr >= self.geo.data_blocks() {
+                            continue;
+                        }
+                        let word = self.backend.read_word(self.geo.data_word(other_addr))?;
+                        let pt = decrypt_verify(
+                            &keys,
+                            other_addr,
+                            &word,
+                            old_cb.counter(other_slot),
+                            self.saturation,
+                        )?;
+                        reencrypt.push((other_addr, pt, new_counter));
+                    }
+                }
+                self.commit_metadata(&keys, page, &mut v, &mut root)?;
+                self.backend.write_word(
+                    self.geo.data_word(addr),
+                    &encrypt_one(&keys, addr, &block, outcome.new_counter, self.saturation),
+                )?;
+                for (other_addr, pt, new_counter) in reencrypt {
+                    self.backend.write_word(
+                        self.geo.data_word(other_addr),
+                        &encrypt_one(&keys, other_addr, &pt, new_counter, self.saturation),
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{FileBackend, VecBackend};
+    use clme_obs::span::Blame;
+
+    const MASTER: [u8; 32] = [0x42; 32];
+
+    fn layer(blocks: u64) -> EncryptionLayer<VecBackend> {
+        EncryptionLayer::new(VecBackend::for_blocks(blocks), blocks, MASTER).unwrap()
+    }
+
+    fn pattern(tag: u8) -> Block {
+        core::array::from_fn(|i| tag ^ i as u8)
+    }
+
+    #[test]
+    fn layer_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EncryptionLayer<VecBackend>>();
+        assert_send_sync::<EncryptionLayer<FileBackend>>();
+    }
+
+    #[test]
+    fn fresh_blocks_read_zero() {
+        let mem = layer(130);
+        for addr in [0, 64, 129] {
+            assert_eq!(mem.read_block(addr).unwrap(), [0u8; 64]);
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip_and_counters() {
+        let mem = layer(130);
+        mem.batch_write(&[(0, pattern(1)), (65, pattern(2)), (129, pattern(3))])
+            .unwrap();
+        assert_eq!(mem.read_block(0).unwrap(), pattern(1));
+        assert_eq!(mem.read_block(65).unwrap(), pattern(2));
+        assert_eq!(mem.read_block(129).unwrap(), pattern(3));
+        assert_eq!(mem.counter_of(0).unwrap(), 1);
+        assert_eq!(mem.counter_of(1).unwrap(), 0);
+        mem.write_block(0, &pattern(9)).unwrap();
+        assert_eq!(mem.counter_of(0).unwrap(), 2);
+        assert_eq!(mem.read_block(0).unwrap(), pattern(9));
+        assert_eq!(mem.root(), 4, "root counts every metadata write");
+    }
+
+    #[test]
+    fn out_of_bounds_is_typed() {
+        let mem = layer(64);
+        assert!(matches!(
+            mem.batch_read(&[64]),
+            Err(MemError::OutOfBounds { index: 64, limit: 64 })
+        ));
+        assert!(mem.batch_write(&[(64, [0u8; 64])]).is_err());
+    }
+
+    #[test]
+    fn page_roll_reencrypts_co_residents() {
+        let mem = layer(128);
+        mem.write_block(1, &pattern(7)).unwrap();
+        mem.write_block(63, &pattern(8)).unwrap();
+        // 128 writes to block 0 overflow its 7-bit minor and roll page 0.
+        for i in 0..128u32 {
+            mem.write_block(0, &pattern(i as u8)).unwrap();
+        }
+        assert_eq!(mem.counter_of(0).unwrap(), 128);
+        assert_eq!(mem.counter_of(1).unwrap(), 128, "co-resident rolled");
+        assert_eq!(mem.read_block(0).unwrap(), pattern(127));
+        assert_eq!(mem.read_block(1).unwrap(), pattern(7));
+        assert_eq!(mem.read_block(63).unwrap(), pattern(8));
+        // Page 1 was untouched.
+        assert_eq!(mem.counter_of(64).unwrap(), 0);
+    }
+
+    #[test]
+    fn saturation_switches_to_counterless_permanently() {
+        let backend = VecBackend::for_blocks(64);
+        let opts = LayerOptions {
+            counter_saturation: 3,
+            ..LayerOptions::default()
+        };
+        let mem = EncryptionLayer::with_options(backend, 64, MASTER, opts).unwrap();
+        for round in 0..5u8 {
+            mem.write_block(7, &pattern(round)).unwrap();
+        }
+        assert!(mem.is_counterless(7).unwrap());
+        assert_eq!(mem.read_block(7).unwrap(), pattern(4));
+        // Still writable, still counterless.
+        mem.write_block(7, &pattern(9)).unwrap();
+        assert_eq!(mem.read_block(7).unwrap(), pattern(9));
+        assert!(mem.is_counterless(7).unwrap());
+        // A sibling block below saturation stays in counter mode.
+        mem.write_block(8, &pattern(1)).unwrap();
+        assert!(!mem.is_counterless(8).unwrap());
+    }
+
+    #[test]
+    fn attach_resumes_and_wrong_root_fails() {
+        let mem = layer(128);
+        mem.write_block(5, &pattern(5)).unwrap();
+        let root = mem.root();
+        let backend = mem.into_backend();
+        let resumed = EncryptionLayer::attach(backend, 128, MASTER, root).unwrap();
+        assert_eq!(resumed.read_block(5).unwrap(), pattern(5));
+        // A stale root (replayed metadata) must fail tree verification.
+        let backend = resumed.into_backend();
+        let stale = EncryptionLayer::attach(backend, 128, MASTER, root + 1).unwrap();
+        let err = stale.read_block(5).unwrap_err();
+        assert!(
+            matches!(
+                err.integrity().map(|e| e.class),
+                Some(TamperClass::TreeNode { .. })
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn geometry_mismatch_is_rejected() {
+        let backend = VecBackend::new(10);
+        assert!(matches!(
+            EncryptionLayer::new(backend, 128, MASTER),
+            Err(MemError::GeometryMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rekey_reencrypts_everything_and_old_key_fails() {
+        let mem = layer(130);
+        mem.batch_write(&[(0, pattern(1)), (129, pattern(2))]).unwrap();
+        let before: Vec<StoredWord> = (0..130)
+            .map(|a| mem.backend().read_word(a).unwrap())
+            .collect();
+        let report = mem.rekey([0x77; 32]).unwrap();
+        assert_eq!(report.blocks, 130);
+        assert_eq!(report.pages, 3);
+        // Every stored data word changed, plaintext did not.
+        let after: Vec<StoredWord> = (0..130)
+            .map(|a| mem.backend().read_word(a).unwrap())
+            .collect();
+        for (a, b) in before.iter().zip(&after) {
+            assert_ne!(a, b, "rekey must rewrite every block");
+        }
+        assert_eq!(mem.read_block(0).unwrap(), pattern(1));
+        assert_eq!(mem.read_block(129).unwrap(), pattern(2));
+        // The old key no longer verifies anything.
+        let root = mem.root();
+        let backend = mem.into_backend();
+        let old = EncryptionLayer::attach(backend, 130, MASTER, root).unwrap();
+        assert!(old.read_block(0).is_err());
+    }
+
+    #[test]
+    fn reads_emit_spans_when_traced() {
+        let mem = layer(128);
+        mem.batch_write(&[(0, pattern(1)), (64, pattern(2))]).unwrap();
+        mem.install_tracer(SpanTracer::new(64));
+        let _ = mem.batch_read(&[0, 1, 64]).unwrap();
+        let tracer = mem.take_tracer().expect("tracer installed");
+        assert_eq!(tracer.total_requests(), 3);
+        assert_eq!(tracer.tally().total(), 3);
+        // The software data path verifies the MAC after the data
+        // arrives, so counter-mode reads are mac- (or cipher-) bound —
+        // never counter-bound: metadata is verified before the data.
+        assert_eq!(tracer.tally().count(Blame::Counter), 0);
+        for req in tracer.sampled() {
+            assert!(req.children.iter().any(|c| c.kind == SpanKind::CounterFetch));
+            assert!(req.children.iter().any(|c| c.kind == SpanKind::DataDram));
+            assert!(req.ready >= req.data_arrival);
+        }
+        // Untraced reads after take_tracer still work.
+        assert_eq!(mem.read_block(0).unwrap(), pattern(1));
+    }
+
+    #[test]
+    fn file_backend_layer_round_trips_and_persists() {
+        let path = std::env::temp_dir().join(format!(
+            "clme-mem-layer-{}.store",
+            std::process::id()
+        ));
+        let mem = EncryptionLayer::new(
+            FileBackend::create_for_blocks(&path, 96).unwrap(),
+            96,
+            MASTER,
+        )
+        .unwrap();
+        mem.batch_write(&[(0, pattern(3)), (95, pattern(4))]).unwrap();
+        assert_eq!(mem.read_block(95).unwrap(), pattern(4));
+        let root = mem.root();
+        drop(mem.into_backend());
+        let reopened =
+            EncryptionLayer::attach(FileBackend::open(&path).unwrap(), 96, MASTER, root).unwrap();
+        assert_eq!(reopened.read_block(0).unwrap(), pattern(3));
+        assert_eq!(reopened.read_block(95).unwrap(), pattern(4));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

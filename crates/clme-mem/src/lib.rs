@@ -1,0 +1,56 @@
+//! The encrypted-memory *library*: the paper's counter-light scheme
+//! applied to real bytes over pluggable backing stores.
+//!
+//! Everything else in this workspace simulates the scheme's *timing*;
+//! this crate runs its *data path* for real. [`EncryptionLayer`] wraps
+//! any [`StoreBackend`] and exposes the plaintext-facing [`MemoryAdt`]
+//! (batch reads and writes of 64-byte blocks), while the store only
+//! ever sees:
+//!
+//! * **Data words** — the [Synergy 10-chip layout](clme_ecc::layout):
+//!   8 ciphertext lanes, a 64-bit MAC lane, and the parity lane with the
+//!   EncryptionMetadata word riding it (Section IV-C), so a block's
+//!   counter decodes from the block itself with zero extra traffic.
+//! * **Counter words** — one [split-counter block](clme_counters::split)
+//!   per 64-block page, sealed with a keyed MAC that also binds the
+//!   page's integrity-tree leaf count.
+//! * **Tree-node words** — an 8-ary counter tree over the pages whose
+//!   root lives *inside the layer* ("on chip"), never in the store, so
+//!   replaying stale metadata is detected.
+//!
+//! Blocks encrypt under AES-CTR one-time pads keyed by (address,
+//! counter) with a Carter–Wegman MAC; a block whose counter passes the
+//! saturation point permanently switches to AES-XTS with a SHA-3 MAC —
+//! the paper's counterless fallback. Every read verifies the whole
+//! chain (tree path → counter block → metadata word → block MAC) and
+//! returns a typed [`IntegrityError`] naming the failure class on any
+//! mismatch. [`EncryptionLayer::rekey`] re-encrypts every live block
+//! and reseals all metadata under a fresh master key while the layer
+//! stays online.
+//!
+//! The layer is `Send + Sync`: pages shard across interior locks, so
+//! disjoint regions proceed in parallel while a page roll (64 blocks
+//! re-encrypted at once) stays atomic.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use clme_mem::{EncryptionLayer, MemoryAdt, VecBackend};
+//!
+//! let backend = VecBackend::for_blocks(256);
+//! let mem = EncryptionLayer::new(backend, 256, [7u8; 32]).unwrap();
+//! mem.batch_write(&[(3, [0xAB; 64])]).unwrap();
+//! assert_eq!(mem.batch_read(&[3]).unwrap()[0], [0xAB; 64]);
+//! ```
+
+pub mod adt;
+pub mod error;
+pub mod geometry;
+pub mod layer;
+pub mod store;
+
+pub use adt::{Block, MemoryAdt, BLOCK_BYTES};
+pub use error::{IntegrityError, MemError, TamperClass};
+pub use geometry::{Geometry, Region, NODE_ARITY, PAGE_BLOCKS};
+pub use layer::{EncryptionLayer, LayerOptions, RekeyReport};
+pub use store::{FileBackend, StoreBackend, StoredWord, VecBackend, WORD_BYTES};

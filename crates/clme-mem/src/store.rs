@@ -1,0 +1,342 @@
+//! Backing stores: flat arrays of 80-byte stored words.
+//!
+//! A stored word is one encoded memory block — 64 bytes of payload plus
+//! the 8-byte MAC lane and 8-byte parity/reserved lane, exactly the
+//! 10-chip DDR5 footprint of the Synergy layout. Backends are *dumb*:
+//! they hold opaque words and know nothing about encryption, which is
+//! also what makes them the attacker's surface — a tamper test (or a
+//! bus adversary) flips bytes here, below the encryption layer.
+
+use crate::error::MemError;
+use crate::geometry::Geometry;
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError, RwLock};
+
+/// Bytes per stored word: 64 payload + 8 MAC lane + 8 parity lane.
+pub const WORD_BYTES: usize = 80;
+
+/// One stored word.
+pub type StoredWord = [u8; WORD_BYTES];
+
+/// A flat, thread-safe store of [`StoredWord`]s.
+pub trait StoreBackend: Send + Sync {
+    /// Number of stored words.
+    fn words(&self) -> u64;
+
+    /// Reads one word.
+    fn read_word(&self, index: u64) -> Result<StoredWord, MemError>;
+
+    /// Writes one word.
+    fn write_word(&self, index: u64, word: &StoredWord) -> Result<(), MemError>;
+}
+
+fn check_bounds(index: u64, limit: u64) -> Result<(), MemError> {
+    if index < limit {
+        Ok(())
+    } else {
+        Err(MemError::OutOfBounds { index, limit })
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-memory backend
+// ---------------------------------------------------------------------
+
+/// Words per lock segment in [`VecBackend`]; segments stripe by index
+/// so neighbouring words rarely contend.
+const VEC_SEGMENTS: usize = 16;
+
+/// An in-memory backend: the words live in striped `RwLock`ed vectors.
+pub struct VecBackend {
+    segments: Vec<RwLock<Vec<StoredWord>>>,
+    words: u64,
+}
+
+impl VecBackend {
+    /// A zeroed store of `words` stored words.
+    pub fn new(words: u64) -> VecBackend {
+        let mut segments = Vec::with_capacity(VEC_SEGMENTS);
+        for s in 0..VEC_SEGMENTS as u64 {
+            // Words w with w % VEC_SEGMENTS == s.
+            let len = (words + VEC_SEGMENTS as u64 - 1 - s) / VEC_SEGMENTS as u64;
+            segments.push(RwLock::new(vec![[0u8; WORD_BYTES]; len as usize]));
+        }
+        VecBackend { segments, words }
+    }
+
+    /// A zeroed store sized for `data_blocks` blocks plus all the
+    /// counter and tree metadata the encryption layer needs.
+    pub fn for_blocks(data_blocks: u64) -> VecBackend {
+        VecBackend::new(Geometry::for_blocks(data_blocks).total_words())
+    }
+
+    fn locate(&self, index: u64) -> (usize, usize) {
+        (
+            (index % VEC_SEGMENTS as u64) as usize,
+            (index / VEC_SEGMENTS as u64) as usize,
+        )
+    }
+}
+
+impl StoreBackend for VecBackend {
+    fn words(&self) -> u64 {
+        self.words
+    }
+
+    fn read_word(&self, index: u64) -> Result<StoredWord, MemError> {
+        check_bounds(index, self.words)?;
+        let (seg, pos) = self.locate(index);
+        let guard = self.segments[seg]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        Ok(guard[pos])
+    }
+
+    fn write_word(&self, index: u64, word: &StoredWord) -> Result<(), MemError> {
+        check_bounds(index, self.words)?;
+        let (seg, pos) = self.locate(index);
+        let mut guard = self.segments[seg]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        guard[pos] = *word;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Paged file backend
+// ---------------------------------------------------------------------
+
+/// Stored words per cached file page (one 5 KB run of the file).
+pub const FILE_PAGE_WORDS: u64 = 64;
+
+/// Cache slots: direct-mapped by page index.
+const FILE_CACHE_SLOTS: usize = 64;
+
+struct CachedPage {
+    page: u64,
+    bytes: Vec<u8>,
+}
+
+/// An mmap-style paged file store: words live in a flat file, accessed
+/// through positioned I/O with a direct-mapped write-through page cache.
+///
+/// Dropping the backend does **not** delete the file; reopen it with
+/// [`FileBackend::open`] (and re-attach the layer with its saved root)
+/// to get persistence.
+pub struct FileBackend {
+    file: File,
+    path: PathBuf,
+    words: u64,
+    cache: Vec<Mutex<Option<CachedPage>>>,
+}
+
+impl FileBackend {
+    /// Creates (truncating) a zero-filled store of `words` words.
+    pub fn create(path: impl AsRef<Path>, words: u64) -> Result<FileBackend, MemError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.set_len(words * WORD_BYTES as u64)?;
+        Ok(FileBackend::wrap(file, path, words))
+    }
+
+    /// Creates a store sized for `data_blocks` blocks plus metadata.
+    pub fn create_for_blocks(
+        path: impl AsRef<Path>,
+        data_blocks: u64,
+    ) -> Result<FileBackend, MemError> {
+        FileBackend::create(path, Geometry::for_blocks(data_blocks).total_words())
+    }
+
+    /// Opens an existing store, inferring the word count from the file
+    /// length (which must be a multiple of [`WORD_BYTES`]).
+    pub fn open(path: impl AsRef<Path>) -> Result<FileBackend, MemError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let len = file.metadata()?.len();
+        if len % WORD_BYTES as u64 != 0 {
+            return Err(MemError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("store length {len} is not a multiple of {WORD_BYTES}"),
+            )));
+        }
+        Ok(FileBackend::wrap(file, path, len / WORD_BYTES as u64))
+    }
+
+    fn wrap(file: File, path: PathBuf, words: u64) -> FileBackend {
+        let cache = (0..FILE_CACHE_SLOTS).map(|_| Mutex::new(None)).collect();
+        FileBackend {
+            file,
+            path,
+            words,
+            cache,
+        }
+    }
+
+    /// The store's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn page_len(&self, page: u64) -> usize {
+        let first = page * FILE_PAGE_WORDS;
+        let words = (self.words - first).min(FILE_PAGE_WORDS);
+        words as usize * WORD_BYTES
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<(), MemError> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, offset)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(offset))?;
+            f.read_exact(buf)?;
+        }
+        Ok(())
+    }
+
+    fn write_at(&self, buf: &[u8], offset: u64) -> Result<(), MemError> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.write_all_at(buf, offset)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(offset))?;
+            f.write_all(buf)?;
+        }
+        Ok(())
+    }
+}
+
+impl StoreBackend for FileBackend {
+    fn words(&self) -> u64 {
+        self.words
+    }
+
+    fn read_word(&self, index: u64) -> Result<StoredWord, MemError> {
+        check_bounds(index, self.words)?;
+        let page = index / FILE_PAGE_WORDS;
+        let within = (index % FILE_PAGE_WORDS) as usize * WORD_BYTES;
+        let slot = (page % FILE_CACHE_SLOTS as u64) as usize;
+        let mut guard = self.cache[slot]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let cached = match guard.as_ref() {
+            Some(c) if c.page == page => guard.as_ref().unwrap(),
+            _ => {
+                let mut bytes = vec![0u8; self.page_len(page)];
+                self.read_at(&mut bytes, page * FILE_PAGE_WORDS * WORD_BYTES as u64)?;
+                *guard = Some(CachedPage { page, bytes });
+                guard.as_ref().unwrap()
+            }
+        };
+        let mut word = [0u8; WORD_BYTES];
+        word.copy_from_slice(&cached.bytes[within..within + WORD_BYTES]);
+        Ok(word)
+    }
+
+    fn write_word(&self, index: u64, word: &StoredWord) -> Result<(), MemError> {
+        check_bounds(index, self.words)?;
+        let page = index / FILE_PAGE_WORDS;
+        let within = (index % FILE_PAGE_WORDS) as usize * WORD_BYTES;
+        let slot = (page % FILE_CACHE_SLOTS as u64) as usize;
+        // Hold the slot lock across file and cache updates so a racing
+        // reader of the same slot never caches stale bytes.
+        let mut guard = self.cache[slot]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.write_at(word, index * WORD_BYTES as u64)?;
+        if let Some(cached) = guard.as_mut() {
+            if cached.page == page {
+                cached.bytes[within..within + WORD_BYTES].copy_from_slice(word);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("clme-mem-store-{tag}-{}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn vec_backend_round_trips_and_bounds_checks() {
+        let store = VecBackend::new(100);
+        assert_eq!(store.words(), 100);
+        let word = [0xA5u8; WORD_BYTES];
+        store.write_word(99, &word).unwrap();
+        assert_eq!(store.read_word(99).unwrap(), word);
+        assert_eq!(store.read_word(0).unwrap(), [0u8; WORD_BYTES]);
+        assert!(matches!(
+            store.read_word(100),
+            Err(MemError::OutOfBounds { index: 100, limit: 100 })
+        ));
+        assert!(store.write_word(100, &word).is_err());
+    }
+
+    #[test]
+    fn file_backend_round_trips_persists_and_bounds_checks() {
+        let path = temp_path("roundtrip");
+        {
+            let store = FileBackend::create(&path, 150).unwrap();
+            assert_eq!(store.words(), 150);
+            let mut word = [0u8; WORD_BYTES];
+            for (i, b) in word.iter_mut().enumerate() {
+                *b = i as u8;
+            }
+            store.write_word(149, &word).unwrap();
+            // Same cache page read-back and a cold page.
+            assert_eq!(store.read_word(149).unwrap(), word);
+            assert_eq!(store.read_word(0).unwrap(), [0u8; WORD_BYTES]);
+            assert!(store.read_word(150).is_err());
+        }
+        {
+            let store = FileBackend::open(&path).unwrap();
+            assert_eq!(store.words(), 150);
+            assert_eq!(store.read_word(149).unwrap()[5], 5);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_backend_write_through_updates_cached_page() {
+        let path = temp_path("writethrough");
+        let store = FileBackend::create(&path, FILE_PAGE_WORDS * 2).unwrap();
+        // Warm the cache slot for page 0, then write through it.
+        assert_eq!(store.read_word(3).unwrap(), [0u8; WORD_BYTES]);
+        let word = [0x5Cu8; WORD_BYTES];
+        store.write_word(3, &word).unwrap();
+        assert_eq!(store.read_word(3).unwrap(), word);
+        drop(store);
+        let store = FileBackend::open(&path).unwrap();
+        assert_eq!(store.read_word(3).unwrap(), word);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_torn_lengths() {
+        let path = temp_path("torn");
+        std::fs::write(&path, [0u8; WORD_BYTES + 1]).unwrap();
+        assert!(FileBackend::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

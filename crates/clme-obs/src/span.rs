@@ -361,6 +361,10 @@ impl SpanTracer {
             seen: 0,
             open: None,
             tally: BlameTally::new(),
+            // The .min(4096) only bounds the up-front allocation for
+            // absurd capacities; it is NOT a retention cap — the vec
+            // grows to the full capacity as requests arrive (pinned by
+            // reservoir_capacity_above_allocation_hint_is_not_a_cap).
             sampled: Vec::with_capacity(capacity.min(4096)),
             capacity: capacity.max(1),
             rng: Xoshiro256::seed_from(SPAN_RESERVOIR_SEED),
@@ -569,6 +573,62 @@ mod tests {
         assert_eq!(ids_a, ids_b, "reservoir must be seed-deterministic");
         // The sample is not just the first 16 requests.
         assert!(ids_a.iter().any(|&id| id >= 16), "reservoir never replaced");
+    }
+
+    #[test]
+    fn reservoir_capacity_above_allocation_hint_is_not_a_cap() {
+        // `new` clamps only the up-front allocation to 4096 entries; a
+        // larger capacity must still retain that many requests. This
+        // pins the distinction so the hint can never quietly become a
+        // truncation.
+        let mut tracer = SpanTracer::new(5_000);
+        for i in 0..6_000u64 {
+            tracer.span_request_begin(ns(i), i);
+            tracer.span_child(SpanKind::DataDram, 0, ns(i), ns(i + 1));
+            tracer.span_request_end(ns(i + 1), ns(i + 2));
+        }
+        assert_eq!(tracer.sampled().len(), 5_000);
+        assert_eq!(tracer.total_requests(), 6_000);
+        // Replacement still happened beyond the hint boundary.
+        assert!(tracer.sampled().iter().any(|r| r.id >= 5_000));
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_across_thread_counts() {
+        // Each tracer carries its own fixed-seed draw stream, so the
+        // retained sample is a pure function of the request stream —
+        // however many tracers run concurrently on other threads. A
+        // thread-shared RNG (or any hidden global) would break this.
+        let feed = |tracer: &mut SpanTracer| {
+            for i in 0..2_000u64 {
+                tracer.span_request_begin(ns(i * 10), i);
+                tracer.span_child(SpanKind::DataDram, 0, ns(i * 10), ns(i * 10 + 3));
+                tracer.span_request_end(ns(i * 10 + 3), ns(i * 10 + 4));
+            }
+        };
+        let mut reference = SpanTracer::new(32);
+        feed(&mut reference);
+        let reference_ids: Vec<u64> = reference.sampled().iter().map(|r| r.id).collect();
+        for threads in [1usize, 2, 8] {
+            let results: Vec<Vec<u64>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut tracer = SpanTracer::new(32);
+                            feed(&mut tracer);
+                            tracer.sampled().iter().map(|r| r.id).collect::<Vec<u64>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+            });
+            for ids in results {
+                assert_eq!(
+                    ids, reference_ids,
+                    "{threads}-thread run diverged from the single-threaded sample"
+                );
+            }
+        }
     }
 
     #[test]

@@ -269,6 +269,23 @@ mod tests {
     }
 
     #[test]
+    fn zero_mad_guard_survives_extreme_stragglers() {
+        // The guard's riskiest call: MAD == 0 makes the modified
+        // z-score undefined, so even an absurd straggler must be kept
+        // rather than filtered against a degenerate zero scale.
+        let mut samples = vec![7.0; 9];
+        samples.push(7000.0);
+        assert_eq!(reject_outliers(&samples), samples);
+        // The moment the cluster regains spread (MAD > 0) the same
+        // straggler is rejected again — the guard is a special case,
+        // not a hole in the filter.
+        let spread = [7.0, 7.1, 6.9, 7.05, 6.95, 7000.0];
+        let kept = reject_outliers(&spread);
+        assert_eq!(kept.len(), 5);
+        assert!(kept.iter().all(|&s| s < 8.0));
+    }
+
+    #[test]
     fn tiny_sample_counts_are_never_filtered() {
         let samples = [1.0, 100.0];
         assert_eq!(reject_outliers(&samples), samples.to_vec());

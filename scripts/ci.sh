@@ -19,6 +19,16 @@ cargo run --release -q --offline -p clme-bench --bin clme -- \
     profile --engine counter-light --bench bfs --json BENCH_profile.json
 grep -o '"cells_per_sec": [0-9.]*' BENCH_profile.json
 
+echo "== mem smoke (encrypted-memory library: write/read/tamper/rekey) =="
+# Drives the clme-mem layer end-to-end on both backends: random batch
+# writes checked against a plaintext model, a byte flipped in every
+# stored-word region (each must raise a typed IntegrityError), a
+# ciphertext splice, and a full rekey() sweep. Milliseconds per run.
+cargo run --release -q --offline -p clme-bench --bin clme -- \
+    mem --smoke --blocks 256 --ops 1000
+cargo run --release -q --offline -p clme-bench --bin clme -- \
+    mem --smoke --backend file --blocks 256 --ops 1000
+
 echo "== perf gate (machine-normalised, 15% regression budget) =="
 # Appends this run's cells/sec to the BENCH_perf.json history and fails
 # when the normalized score drops >15% below goldens/perf_baseline.json.

@@ -14,6 +14,9 @@
 //!   baseline engines, and the bit-exact functional memory model.
 //! * [`obs`] — zero-overhead-when-off tracing: latency histograms, event
 //!   counters, and a Chrome `trace_event` exporter.
+//! * [`mem`] — the encrypted-memory *library*: a thread-safe
+//!   [`mem::EncryptionLayer`] applying the counter-light scheme to real
+//!   bytes over pluggable backing stores.
 //! * [`sim`] — the trace-driven multi-core simulator.
 //! * [`workloads`] — synthetic stand-ins for graphBIG / SPEC / PARSEC.
 //! * [`security`] — Section IV-F analyses.
@@ -38,6 +41,7 @@ pub use clme_counters as counters;
 pub use clme_crypto as crypto;
 pub use clme_dram as dram;
 pub use clme_ecc as ecc;
+pub use clme_mem as mem;
 pub use clme_obs as obs;
 pub use clme_security as security;
 pub use clme_sim as sim;
