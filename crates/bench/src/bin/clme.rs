@@ -83,7 +83,7 @@
 
 use clme_core::engine::EngineKind;
 use clme_mem::{
-    EncryptionLayer, FileBackend, LayerOptions, MemoryAdt, StoreBackend, VecBackend,
+    EncryptionLayer, FileBackend, LayerOptions, MemOp, MemoryAdt, StoreBackend, VecBackend,
 };
 use clme_obs::{span_flow_json, Blame, EpochSeries, EventKind, Log2Histogram, SpanTracer, Stage};
 use clme_sim::matrix::{all_engines, RunMatrix};
@@ -951,14 +951,32 @@ fn parse_perf_args(args: &[String]) -> PerfArgs {
 /// Per-stage ns/op of one profiled calibrated cell: how much host time
 /// the simulator spends per simulated stage event (plus the simulated
 /// mean for context). Rendered into `BENCH_perf.json`.
+///
+/// The recorder only knows the whole cell's wall time, so the host cost
+/// is apportioned by each stage's share of simulated work (samples ×
+/// simulated mean): a stage that simulated twice the picoseconds is
+/// charged twice the host nanoseconds. Dividing the total wall by each
+/// stage's sample count — the old rule — charged every equal-count
+/// stage the identical ns/op regardless of what it simulated.
 fn perf_stage_json(wall: f64, rec: &clme_obs::Recorder) -> Vec<(String, JsonValue)> {
     let wall_ns = wall * 1e9;
+    let total_work: f64 = Stage::ALL
+        .iter()
+        .map(|&stage| {
+            let hist = rec.stage(stage);
+            hist.count() as f64 * hist.mean_ps()
+        })
+        .sum();
     Stage::ALL
         .iter()
         .map(|&stage| {
             let hist = rec.stage(stage);
             let samples = hist.count();
-            let host = if samples > 0 { wall_ns / samples as f64 } else { 0.0 };
+            let host = if samples > 0 && total_work > 0.0 {
+                wall_ns * hist.mean_ps() / total_work
+            } else {
+                0.0
+            };
             (
                 stage.name().to_string(),
                 JsonValue::Obj(vec![
@@ -1344,6 +1362,13 @@ struct MemArgs {
     critpath: Option<String>,
     json: Option<PathBuf>,
     trace: Option<PathBuf>,
+    stats: bool,
+    stats_json: Option<PathBuf>,
+    prom: Option<PathBuf>,
+    watch: bool,
+    epoch_ms: u64,
+    reps: usize,
+    check_stats: Option<PathBuf>,
 }
 
 fn mem_usage() -> ! {
@@ -1351,6 +1376,8 @@ fn mem_usage() -> ! {
         "usage: clme mem [--backend vec|file] [--path PATH] [--blocks N] [--ops N]\n\
          \x20            [--seed HEX|DEC] [--saturation N] [--smoke | --bench |\n\
          \x20            --critpath sweep|zipf] [--samples N] [--json PATH] [--trace PATH]\n\
+         \x20            [--reps N] [--watch] [--epoch-ms MS] [--stats]\n\
+         \x20            [--stats-json PATH] [--prom PATH] [--check-stats PATH]\n\
          \n\
          Drives the clme-mem library — the counter-light scheme applied to a\n\
          real backing store instead of the simulator. The default run is a\n\
@@ -1361,16 +1388,28 @@ fn mem_usage() -> ! {
          \n\
          --smoke     same checks, compact output, nonzero exit on any miss\n\
          \x20        (this is the tier-1 CI entry point)\n\
-         --bench     batch write/read throughput and rekey sweep rate\n\
+         --bench     batch write/read throughput, op latency percentiles,\n\
+         \x20        and rekey sweep rate (--reps keeps the best of N)\n\
          --critpath  trace reads with the span tracer and print the blame\n\
          \x20        table (sweep = sequential, zipf = skewed; hot blocks\n\
          \x20        saturate their counters and go counterless)\n\
          --backend   vec (in-memory, default) or file (paged file store;\n\
          \x20        --path to keep it, otherwise a temp file is used)\n\
          --saturation counters above N switch the block to counterless mode\n\
+         --watch     print a telemetry epoch row every --epoch-ms (default\n\
+         \x20        250) while the bench runs\n\
+         --stats     print the full telemetry table after the run: op and\n\
+         \x20        crypto-stage latency histograms, per-shard lock\n\
+         \x20        wait/hold, page-cache hit rate, rekey progress\n\
+         --stats-json write the telemetry snapshot + throughput artifact\n\
+         \x20        (BENCH_mem.json schema, history carried forward)\n\
+         --prom      write the snapshot in Prometheus text exposition format\n\
+         --check-stats parse a --stats-json artifact and verify the\n\
+         \x20        telemetry pipeline keys are present (CI smoke)\n\
          \n\
          example: clme mem --smoke --blocks 256\n\
-         example: clme mem --bench --backend file --blocks 8192\n\
+         example: clme mem --bench --backend file --blocks 8192 --stats\n\
+         example: clme mem --bench --stats-json BENCH_mem.json --reps 3\n\
          example: clme mem --critpath zipf --json mem_blame.json"
     );
     std::process::exit(2)
@@ -1390,6 +1429,13 @@ fn parse_mem_args(args: &[String]) -> MemArgs {
         critpath: None,
         json: None,
         trace: None,
+        stats: false,
+        stats_json: None,
+        prom: None,
+        watch: false,
+        epoch_ms: 250,
+        reps: 1,
+        check_stats: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -1443,6 +1489,27 @@ fn parse_mem_args(args: &[String]) -> MemArgs {
             }
             "--json" => parsed.json = Some(PathBuf::from(value("--json"))),
             "--trace" => parsed.trace = Some(PathBuf::from(value("--trace"))),
+            "--stats" => parsed.stats = true,
+            "--stats-json" => parsed.stats_json = Some(PathBuf::from(value("--stats-json"))),
+            "--prom" => parsed.prom = Some(PathBuf::from(value("--prom"))),
+            "--watch" => parsed.watch = true,
+            "--epoch-ms" => {
+                parsed.epoch_ms = value("--epoch-ms").parse().unwrap_or_else(|_| mem_usage());
+                if parsed.epoch_ms == 0 {
+                    eprintln!("--epoch-ms needs a positive interval");
+                    mem_usage()
+                }
+            }
+            "--reps" => {
+                parsed.reps = value("--reps").parse().unwrap_or_else(|_| mem_usage());
+                if parsed.reps == 0 {
+                    eprintln!("--reps needs a positive count");
+                    mem_usage()
+                }
+            }
+            "--check-stats" => {
+                parsed.check_stats = Some(PathBuf::from(value("--check-stats")))
+            }
             "--help" | "-h" => mem_usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -1496,6 +1563,9 @@ fn mem_pattern_block(rng: &mut SplitMix64) -> clme_mem::Block {
 
 fn run_mem_command(args: &[String]) -> i32 {
     let args = parse_mem_args(args);
+    if let Some(path) = &args.check_stats {
+        return mem_check_stats(path);
+    }
     run_mem_with_args(&args)
 }
 
@@ -1522,6 +1592,13 @@ fn run_mem_critpath_label(args: &CritpathArgs, rest: &str) -> i32 {
         critpath: Some(pattern.to_string()),
         json: args.json.clone(),
         trace: args.trace.clone(),
+        stats: false,
+        stats_json: None,
+        prom: None,
+        watch: false,
+        epoch_ms: 250,
+        reps: 1,
+        check_stats: None,
     };
     run_mem_with_args(&mem_args)
 }
@@ -1575,13 +1652,27 @@ fn run_mem_with_args(args: &MemArgs) -> i32 {
 }
 
 fn mem_dispatch<B: StoreBackend>(args: &MemArgs, layer: &EncryptionLayer<B>) -> i32 {
-    if let Some(pattern) = &args.critpath {
+    let mut bench_report = None;
+    let code = if let Some(pattern) = &args.critpath {
         mem_critpath(args, layer, pattern)
     } else if args.bench {
-        mem_bench(args, layer)
+        match mem_bench(args, layer) {
+            Ok(report) => {
+                bench_report = Some(report);
+                0
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                1
+            }
+        }
     } else {
         mem_demo(args, layer, !args.smoke)
+    };
+    if code != 0 {
+        return code;
     }
+    mem_emit_stats(args, layer, bench_report.as_ref())
 }
 
 /// Write/read against a plaintext model, one tamper per stored-word
@@ -1772,57 +1863,132 @@ fn mem_demo<B: StoreBackend>(args: &MemArgs, layer: &EncryptionLayer<B>, verbose
 }
 
 /// Batch write/read throughput and the rekey sweep rate.
-fn mem_bench<B: StoreBackend>(args: &MemArgs, layer: &EncryptionLayer<B>) -> i32 {
+/// Throughput numbers `mem_bench` hands back so `--stats-json` can fold
+/// them into the artifact next to the telemetry snapshot.
+struct MemBenchReport {
+    ops: usize,
+    write_blocks_per_sec: f64,
+    read_blocks_per_sec: f64,
+    rekey_blocks: u64,
+    rekey_blocks_per_sec: f64,
+}
+
+/// Prints one telemetry epoch row per `--epoch-ms` while the bench
+/// runs: the delta snapshot since the previous row (SeriesRecorder
+/// idiom — epoch k is its own interval, not cumulative).
+struct MemWatch {
+    enabled: bool,
+    interval: std::time::Duration,
+    last_tick: std::time::Instant,
+    last_snap: clme_mem::MemMetricsSnapshot,
+    epoch: usize,
+}
+
+impl MemWatch {
+    fn new<B: StoreBackend>(args: &MemArgs, layer: &EncryptionLayer<B>) -> MemWatch {
+        if args.watch {
+            println!(
+                "  {:<6} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "epoch", "phase", "writes", "reads", "wr_p50ns", "wr_p99ns", "rd_p50ns", "rd_p99ns"
+            );
+        }
+        MemWatch {
+            enabled: args.watch,
+            interval: std::time::Duration::from_millis(args.epoch_ms),
+            last_tick: std::time::Instant::now(),
+            last_snap: layer.metrics_snapshot(),
+            epoch: 0,
+        }
+    }
+
+    fn tick<B: StoreBackend>(&mut self, phase: &str, layer: &EncryptionLayer<B>) {
+        if !self.enabled || self.last_tick.elapsed() < self.interval {
+            return;
+        }
+        let snap = layer.metrics_snapshot();
+        let delta = snap.delta_since(&self.last_snap);
+        let p = |op: MemOp, q: f64| delta.op(op).latency.percentile_ps(q) as f64 / 1000.0;
+        println!(
+            "  {:<6} {:>6} {:>9} {:>9} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+            self.epoch,
+            phase,
+            delta.blocks_written,
+            delta.blocks_read,
+            p(MemOp::Write, 0.5),
+            p(MemOp::Write, 0.99),
+            p(MemOp::Read, 0.5),
+            p(MemOp::Read, 0.99),
+        );
+        self.epoch += 1;
+        self.last_snap = snap;
+        self.last_tick = std::time::Instant::now();
+    }
+}
+
+fn mem_bench<B: StoreBackend>(
+    args: &MemArgs,
+    layer: &EncryptionLayer<B>,
+) -> Result<MemBenchReport, String> {
     let blocks = layer.blocks();
     let ops = args.ops.max(64);
     let mut rng = SplitMix64::new(SplitMix64::new(args.seed).derive(b"mem/bench"));
     let mib = |count: usize, secs: f64| count as f64 * 64.0 / (1024.0 * 1024.0) / secs;
+    let mut watch = MemWatch::new(args, layer);
 
-    let mut batch: Vec<(u64, clme_mem::Block)> = Vec::with_capacity(64);
-    let started = std::time::Instant::now();
-    let mut written = 0usize;
-    while written < ops {
-        batch.clear();
-        for _ in 0..64.min(ops - written) {
-            batch.push((rng.below(blocks), mem_pattern_block(&mut rng)));
+    // Best-of-N phases: host noise only ever slows a run down, so the
+    // fastest rep is the most stable estimate (same reasoning as the
+    // perf gate's measure_best).
+    let mut write_secs = f64::INFINITY;
+    let mut read_secs = f64::INFINITY;
+    for _ in 0..args.reps {
+        let mut batch: Vec<(u64, clme_mem::Block)> = Vec::with_capacity(64);
+        let started = std::time::Instant::now();
+        let mut written = 0usize;
+        while written < ops {
+            batch.clear();
+            for _ in 0..64.min(ops - written) {
+                batch.push((rng.below(blocks), mem_pattern_block(&mut rng)));
+            }
+            layer
+                .batch_write(&batch)
+                .map_err(|err| format!("batch_write failed: {err}"))?;
+            written += batch.len();
+            watch.tick("write", layer);
         }
-        if let Err(err) = layer.batch_write(&batch) {
-            eprintln!("batch_write failed: {err}");
-            return 1;
+        write_secs = write_secs.min(started.elapsed().as_secs_f64());
+
+        let mut read_addrs: Vec<u64> = Vec::with_capacity(64);
+        let started = std::time::Instant::now();
+        let mut read = 0usize;
+        while read < ops {
+            read_addrs.clear();
+            for _ in 0..64.min(ops - read) {
+                read_addrs.push(rng.below(blocks));
+            }
+            layer
+                .batch_read(&read_addrs)
+                .map_err(|err| format!("batch_read failed: {err}"))?;
+            read += read_addrs.len();
+            watch.tick("read", layer);
         }
-        written += batch.len();
+        read_secs = read_secs.min(started.elapsed().as_secs_f64());
     }
-    let write_secs = started.elapsed().as_secs_f64();
-
-    let mut read_addrs: Vec<u64> = Vec::with_capacity(64);
-    let started = std::time::Instant::now();
-    let mut read = 0usize;
-    while read < ops {
-        read_addrs.clear();
-        for _ in 0..64.min(ops - read) {
-            read_addrs.push(rng.below(blocks));
-        }
-        if let Err(err) = layer.batch_read(&read_addrs) {
-            eprintln!("batch_read failed: {err}");
-            return 1;
-        }
-        read += read_addrs.len();
-    }
-    let read_secs = started.elapsed().as_secs_f64();
 
     let started = std::time::Instant::now();
-    let report = match layer.rekey(mem_master_key(args.seed, b"mem/bench-rekey")) {
-        Ok(report) => report,
-        Err(err) => {
-            eprintln!("rekey failed: {err}");
-            return 1;
-        }
-    };
+    let report = layer
+        .rekey(mem_master_key(args.seed, b"mem/bench-rekey"))
+        .map_err(|err| format!("rekey failed: {err}"))?;
     let rekey_secs = started.elapsed().as_secs_f64();
 
     println!(
-        "clme-mem bench: {} blocks, batches of 64, backend {}",
-        blocks, args.backend
+        "clme-mem bench: {} blocks, batches of 64, backend {}{}",
+        blocks,
+        args.backend,
+        if args.reps > 1 {
+            format!(", best of {} reps", args.reps)
+        } else {
+            String::new()
+        }
     );
     println!(
         "  {:<12} {:>10} {:>14} {:>12}",
@@ -1831,16 +1997,16 @@ fn mem_bench<B: StoreBackend>(args: &MemArgs, layer: &EncryptionLayer<B>) -> i32
     println!(
         "  {:<12} {:>10} {:>14.0} {:>12.1}",
         "batch_write",
-        written,
-        written as f64 / write_secs,
-        mib(written, write_secs)
+        ops,
+        ops as f64 / write_secs,
+        mib(ops, write_secs)
     );
     println!(
         "  {:<12} {:>10} {:>14.0} {:>12.1}",
         "batch_read",
-        read,
-        read as f64 / read_secs,
-        mib(read, read_secs)
+        ops,
+        ops as f64 / read_secs,
+        mib(ops, read_secs)
     );
     println!(
         "  {:<12} {:>10} {:>14.0} {:>12.1}",
@@ -1849,7 +2015,341 @@ fn mem_bench<B: StoreBackend>(args: &MemArgs, layer: &EncryptionLayer<B>) -> i32
         report.blocks as f64 / rekey_secs,
         mib(report.blocks as usize, rekey_secs)
     );
+
+    // Per-block latency percentiles from the always-on telemetry (all
+    // reps pooled). Under telemetry-off these print as zeros.
+    let snap = layer.metrics_snapshot();
+    let read_lat = &snap.op(MemOp::Read).latency;
+    let write_lat = &snap.op(MemOp::Write).latency;
+    if read_lat.count() + write_lat.count() > 0 {
+        println!(
+            "  {:<12} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "latency", "samples", "p50_ns", "p95_ns", "p99_ns", "mean_ns", "max_ns"
+        );
+        for (label, hist) in [("read", read_lat), ("write", write_lat)] {
+            println!(
+                "  {:<12} {:>10} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+                label,
+                hist.count(),
+                hist.percentile_ps(0.5) as f64 / 1000.0,
+                hist.percentile_ps(0.95) as f64 / 1000.0,
+                hist.percentile_ps(0.99) as f64 / 1000.0,
+                hist.mean_ps() / 1000.0,
+                hist.max_ps() as f64 / 1000.0,
+            );
+        }
+    }
+
+    Ok(MemBenchReport {
+        ops,
+        write_blocks_per_sec: ops as f64 / write_secs,
+        read_blocks_per_sec: ops as f64 / read_secs,
+        rekey_blocks: report.blocks,
+        rekey_blocks_per_sec: report.blocks as f64 / rekey_secs,
+    })
+}
+
+// ---------------------------------------------------------------------
+// mem telemetry output: --stats / --stats-json / --prom / --check-stats
+// ---------------------------------------------------------------------
+
+/// `BENCH_mem.json` schema version.
+const MEM_SCHEMA: u32 = 1;
+
+/// Artifact history entries kept when carrying the trajectory forward.
+const MEM_HISTORY_CAP: usize = 40;
+
+fn mem_hist_row(label: &str, hist: &Log2Histogram) {
+    println!(
+        "    {:<14} {:>10} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+        label,
+        hist.count(),
+        hist.percentile_ps(0.5) as f64 / 1000.0,
+        hist.percentile_ps(0.95) as f64 / 1000.0,
+        hist.percentile_ps(0.99) as f64 / 1000.0,
+        hist.mean_ps() / 1000.0,
+        hist.max_ps() as f64 / 1000.0,
+    );
+}
+
+/// The human `--stats` table: every layer of the telemetry pipeline.
+fn mem_print_stats(snap: &clme_mem::MemMetricsSnapshot) {
+    use clme_mem::MemStage;
+
+    println!("telemetry: op and crypto-stage latencies (ns)");
+    println!(
+        "    {:<14} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "class", "samples", "p50", "p95", "p99", "mean", "max"
+    );
+    for op in MemOp::ALL {
+        let stats = snap.op(op);
+        mem_hist_row(op.name(), &stats.latency);
+        for stage in MemStage::ALL {
+            let hist = &stats.stages[stage as usize];
+            if hist.count() > 0 {
+                mem_hist_row(&format!("  {}", stage.name()), hist);
+            }
+        }
+    }
+
+    println!("telemetry: shard lock contention (ns)");
+    println!(
+        "    {:<14} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "shard", "acquires", "wait_p50", "wait_p99", "wait_max", "hold_p50", "hold_p99"
+    );
+    for (i, wait) in snap.lock_wait.iter().enumerate() {
+        let hold = &snap.lock_hold[i];
+        if wait.count() == 0 && hold.count() == 0 {
+            continue;
+        }
+        println!(
+            "    {:<14} {:>10} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+            i,
+            wait.count(),
+            wait.percentile_ps(0.5) as f64 / 1000.0,
+            wait.percentile_ps(0.99) as f64 / 1000.0,
+            wait.max_ps() as f64 / 1000.0,
+            hold.percentile_ps(0.5) as f64 / 1000.0,
+            hold.percentile_ps(0.99) as f64 / 1000.0,
+        );
+    }
+
+    println!(
+        "telemetry: traffic  blocks_read={} blocks_written={} batches={}r/{}w \
+         integrity_errors={} page_rolls={} counterless={}r/{}w",
+        snap.blocks_read,
+        snap.blocks_written,
+        snap.batch_reads,
+        snap.batch_writes,
+        snap.integrity_errors,
+        snap.page_rolls,
+        snap.counterless_reads,
+        snap.counterless_writes,
+    );
+    println!(
+        "telemetry: observation  ciphertext_writes={} hottest page {} observed {} times",
+        snap.observed_writes_total, snap.observed_writes_max_page, snap.observed_writes_max,
+    );
+    println!(
+        "telemetry: rekey  sweeps={} progress={}/{} pages{} key_dwell={}ms \
+         last_sweep={}ms last_old_key_dwell={}ms",
+        snap.rekey.sweeps,
+        snap.rekey.pages_done,
+        snap.rekey.pages_total,
+        if snap.rekey.in_progress { " (in progress)" } else { "" },
+        snap.rekey.key_dwell_ms,
+        snap.rekey.last_sweep_ms,
+        snap.rekey.last_old_key_dwell_ms,
+    );
+    println!(
+        "telemetry: store  words={}r/{}w page_cache {:.1}% hit \
+         ({} hits / {} misses / {} evictions), file io {}r/{}w",
+        snap.store.words_read,
+        snap.store.words_written,
+        snap.store.page_cache_hit_rate() * 100.0,
+        snap.store.page_cache_hits,
+        snap.store.page_cache_misses,
+        snap.store.page_cache_evictions,
+        snap.store.file_reads,
+        snap.store.file_writes,
+    );
+}
+
+/// Carries the history array forward from a previous `BENCH_mem.json`;
+/// unreadable or mismatched-schema text yields an empty history.
+fn mem_extract_history(text: &str) -> Vec<JsonValue> {
+    let Ok(doc) = clme_types::json::parse(text) else {
+        return Vec::new();
+    };
+    if doc.get("schema").and_then(JsonValue::as_f64) != Some(MEM_SCHEMA as f64) {
+        return Vec::new();
+    }
+    match doc.get("history") {
+        Some(JsonValue::Arr(items)) => items.clone(),
+        _ => Vec::new(),
+    }
+}
+
+/// Renders the `--stats-json` artifact: run parameters, throughput
+/// (when the run was a bench), the full telemetry snapshot, and the
+/// run history carried forward with this run appended.
+fn mem_stats_artifact(
+    args: &MemArgs,
+    snap: &clme_mem::MemMetricsSnapshot,
+    bench: Option<&MemBenchReport>,
+    mut history: Vec<JsonValue>,
+) -> String {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    let p99_ns = |op: MemOp| snap.op(op).latency.percentile_ps(0.99) as f64 / 1000.0;
+    let mut entry = vec![
+        ("unix_time".into(), JsonValue::Num(unix_time)),
+        ("backend".into(), JsonValue::Str(args.backend.clone())),
+        ("read_p99_ns".into(), JsonValue::Num(p99_ns(MemOp::Read))),
+        ("write_p99_ns".into(), JsonValue::Num(p99_ns(MemOp::Write))),
+    ];
+    if let Some(bench) = bench {
+        entry.push((
+            "write_blocks_per_sec".into(),
+            JsonValue::Num(bench.write_blocks_per_sec),
+        ));
+        entry.push((
+            "read_blocks_per_sec".into(),
+            JsonValue::Num(bench.read_blocks_per_sec),
+        ));
+    }
+    history.push(JsonValue::Obj(entry));
+    if history.len() > MEM_HISTORY_CAP {
+        let excess = history.len() - MEM_HISTORY_CAP;
+        history.drain(..excess);
+    }
+
+    let mut doc = vec![
+        ("schema".into(), JsonValue::Num(MEM_SCHEMA as f64)),
+        ("backend".into(), JsonValue::Str(args.backend.clone())),
+        ("blocks".into(), JsonValue::Num(args.blocks as f64)),
+        ("seed".into(), JsonValue::Num(args.seed as f64)),
+    ];
+    if let Some(bench) = bench {
+        doc.push((
+            "bench".into(),
+            JsonValue::Obj(vec![
+                ("ops".into(), JsonValue::Num(bench.ops as f64)),
+                ("reps".into(), JsonValue::Num(args.reps as f64)),
+                (
+                    "write_blocks_per_sec".into(),
+                    JsonValue::Num(bench.write_blocks_per_sec),
+                ),
+                (
+                    "read_blocks_per_sec".into(),
+                    JsonValue::Num(bench.read_blocks_per_sec),
+                ),
+                ("rekey_blocks".into(), JsonValue::Num(bench.rekey_blocks as f64)),
+                (
+                    "rekey_blocks_per_sec".into(),
+                    JsonValue::Num(bench.rekey_blocks_per_sec),
+                ),
+            ]),
+        ));
+    }
+    doc.push(("stats".into(), snap.to_json()));
+    doc.push(("history".into(), JsonValue::Arr(history)));
+    let mut text = JsonValue::Obj(doc).to_pretty();
+    text.push('\n');
+    text
+}
+
+/// Emits whatever telemetry outputs the flags asked for after the mode
+/// (demo/smoke/bench/critpath) has run. One snapshot feeds all three.
+fn mem_emit_stats<B: StoreBackend>(
+    args: &MemArgs,
+    layer: &EncryptionLayer<B>,
+    bench: Option<&MemBenchReport>,
+) -> i32 {
+    if !(args.stats || args.stats_json.is_some() || args.prom.is_some()) {
+        return 0;
+    }
+    let snap = layer.metrics_snapshot();
+    if args.stats {
+        mem_print_stats(&snap);
+    }
+    if let Some(path) = &args.stats_json {
+        let history = std::fs::read_to_string(path)
+            .map(|text| mem_extract_history(&text))
+            .unwrap_or_default();
+        let artifact = mem_stats_artifact(args, &snap, bench, history);
+        if let Err(err) = std::fs::write(path, artifact) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return 1;
+        }
+        eprintln!("wrote telemetry artifact to {}", path.display());
+    }
+    if let Some(path) = &args.prom {
+        if let Err(err) = std::fs::write(path, layer.metrics_prom()) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return 1;
+        }
+        eprintln!("wrote Prometheus exposition to {}", path.display());
+    }
     0
+}
+
+/// `--check-stats PATH`: parses a `--stats-json` artifact with the
+/// in-tree JSON parser and verifies the telemetry pipeline's key
+/// signals survived the round trip — the CI smoke check.
+fn mem_check_stats(path: &Path) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {}: {err}", path.display());
+            return 1;
+        }
+    };
+    let doc = match clme_types::json::parse(&text) {
+        Ok(doc) => doc,
+        Err(err) => {
+            eprintln!("{} is not valid JSON: {err}", path.display());
+            return 1;
+        }
+    };
+    let mut missing: Vec<String> = Vec::new();
+    if doc.get("schema").and_then(JsonValue::as_f64) != Some(MEM_SCHEMA as f64) {
+        missing.push(format!("schema {MEM_SCHEMA}"));
+    }
+    let stats = doc.get("stats");
+    match stats.and_then(|s| s.get("lock_wait")) {
+        Some(JsonValue::Arr(shards)) if !shards.is_empty() => {
+            if !shards
+                .iter()
+                .all(|s| s.get("p99_ns").and_then(JsonValue::as_f64).is_some())
+            {
+                missing.push("stats.lock_wait[*].p99_ns".into());
+            }
+        }
+        _ => missing.push("stats.lock_wait (non-empty array)".into()),
+    }
+    for key in ["pages_total", "pages_done", "key_dwell_ms"] {
+        if stats
+            .and_then(|s| s.get("rekey"))
+            .and_then(|r| r.get(key))
+            .and_then(JsonValue::as_f64)
+            .is_none()
+        {
+            missing.push(format!("stats.rekey.{key}"));
+        }
+    }
+    if stats
+        .and_then(|s| s.get("store"))
+        .and_then(|s| s.get("page_cache_hit_rate"))
+        .and_then(JsonValue::as_f64)
+        .is_none()
+    {
+        missing.push("stats.store.page_cache_hit_rate".into());
+    }
+    for op in ["read", "write"] {
+        if stats
+            .and_then(|s| s.get("ops"))
+            .and_then(|o| o.get(op))
+            .and_then(|o| o.get("latency"))
+            .and_then(|l| l.get("p99_ns"))
+            .and_then(JsonValue::as_f64)
+            .is_none()
+        {
+            missing.push(format!("stats.ops.{op}.latency.p99_ns"));
+        }
+    }
+    if missing.is_empty() {
+        println!("{}: telemetry pipeline keys present", path.display());
+        0
+    } else {
+        eprintln!("{}: missing telemetry keys:", path.display());
+        for key in missing {
+            eprintln!("  - {key}");
+        }
+        1
+    }
 }
 
 /// Traced reads through the installed span tracer; prints the same

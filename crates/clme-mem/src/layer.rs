@@ -33,6 +33,7 @@
 use crate::adt::{Block, MemoryAdt, BLOCK_BYTES};
 use crate::error::{IntegrityError, MemError, TamperClass};
 use crate::geometry::{Geometry, Region, NODE_ARITY, PAGE_BLOCKS};
+use crate::metrics::{MemMetrics, MemMetricsSnapshot, MemOp, MemStage, Stamp};
 use crate::store::{StoreBackend, StoredWord, WORD_BYTES};
 use clme_counters::split::CounterBlock;
 use clme_crypto::keys::KeyMaterial;
@@ -127,6 +128,7 @@ pub struct EncryptionLayer<B: StoreBackend> {
     tracer: Mutex<Option<SpanTracer>>,
     tracing: AtomicBool,
     epoch: Instant,
+    metrics: MemMetrics,
 }
 
 const NODE_MAC_DOMAIN: &[u8] = b"clme-mem:node-mac:v1";
@@ -308,6 +310,7 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             .map(|_| RwLock::new(()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let metrics = MemMetrics::new(options.shards, geo.pages());
         Ok(EncryptionLayer {
             backend,
             geo,
@@ -318,6 +321,7 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             tracer: Mutex::new(None),
             tracing: AtomicBool::new(false),
             epoch: Instant::now(),
+            metrics,
         })
     }
 
@@ -362,6 +366,24 @@ impl<B: StoreBackend> EncryptionLayer<B> {
         Ok(self.counter_of(addr)? > self.saturation)
     }
 
+    /// The layer's always-on telemetry (a no-op stub when the crate is
+    /// built with the `telemetry-off` feature).
+    pub fn metrics(&self) -> &MemMetrics {
+        &self.metrics
+    }
+
+    /// A snapshot of every layer metric, with the backend's store
+    /// counters folded in.
+    pub fn metrics_snapshot(&self) -> MemMetricsSnapshot {
+        self.metrics.snapshot(self.backend.store_metrics())
+    }
+
+    /// The layer's (and backend's) metrics as Prometheus exposition
+    /// text. Empty under `telemetry-off`.
+    pub fn metrics_prom(&self) -> String {
+        clme_obs::prom::render(&self.metrics.prom_samples(self.backend.store_metrics()))
+    }
+
     /// Installs a span tracer; subsequent reads emit request spans.
     pub fn install_tracer(&self, tracer: SpanTracer) {
         *self.tracer.lock().unwrap_or_else(PoisonError::into_inner) = Some(tracer);
@@ -384,12 +406,26 @@ impl<B: StoreBackend> EncryptionLayer<B> {
     /// counters reuses no nonce). Afterwards nothing in the store
     /// verifies — let alone decrypts — under the old key.
     pub fn rekey(&self, new_master: [u8; 32]) -> Result<RekeyReport, MemError> {
-        let _guards: Vec<_> = self
-            .shards
-            .iter()
-            .map(|s| s.write().unwrap_or_else(PoisonError::into_inner))
-            .collect();
+        let result = self.rekey_inner(new_master);
+        if let Err(e) = &result {
+            if e.integrity().is_some() {
+                self.metrics.integrity_error();
+            }
+        }
+        self.metrics.rekey_end(result.is_ok());
+        result
+    }
+
+    fn rekey_inner(&self, new_master: [u8; 32]) -> Result<RekeyReport, MemError> {
+        let mut _guards = Vec::with_capacity(self.shards.len());
+        for (i, s) in self.shards.iter().enumerate() {
+            let w = Stamp::now();
+            _guards.push(s.write().unwrap_or_else(PoisonError::into_inner));
+            self.metrics.lock_wait(i, w, Stamp::now());
+        }
+        let hold_from = Stamp::now();
         let root = self.tree.write().unwrap_or_else(PoisonError::into_inner);
+        self.metrics.rekey_begin(self.geo.pages());
         let old = self.keys();
         let new = KeyMaterial::from_master(new_master);
         let old_mkey = old.counterless_mac_key();
@@ -463,14 +499,19 @@ impl<B: StoreBackend> EncryptionLayer<B> {
                     self.geo.data_word(addr),
                     &encrypt_one(&new, addr, &pt, counter, self.saturation),
                 )?;
+                self.metrics.observe_ciphertext_write(page);
                 blocks += 1;
                 if counter > self.saturation {
                     counterless_blocks += 1;
                 }
             }
+            self.metrics.rekey_page_done();
         }
         drop(root);
         *self.keys.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(new);
+        for i in 0..self.shards.len() {
+            self.metrics.lock_hold(i, hold_from);
+        }
         Ok(RekeyReport {
             pages: self.geo.pages(),
             blocks,
@@ -485,8 +526,12 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             .clone()
     }
 
+    fn shard_index(&self, page: u64) -> usize {
+        (page % self.shards.len() as u64) as usize
+    }
+
     fn shard(&self, page: u64) -> &RwLock<()> {
-        &self.shards[(page % self.shards.len() as u64) as usize]
+        &self.shards[self.shard_index(page)]
     }
 
     fn check_addr(&self, addr: u64) -> Result<(), MemError> {
@@ -761,6 +806,42 @@ impl<B: StoreBackend> MemoryAdt for EncryptionLayer<B> {
     }
 
     fn batch_read(&self, addrs: &[u64]) -> Result<Vec<Block>, MemError> {
+        let call0 = Stamp::now();
+        let result = self.batch_read_inner(addrs);
+        match &result {
+            Ok(_) => {
+                self.metrics.note_read_batch(addrs.len() as u64);
+                self.metrics.op_between(MemOp::Batch, call0, Stamp::now());
+            }
+            Err(e) => {
+                if e.integrity().is_some() {
+                    self.metrics.integrity_error();
+                }
+            }
+        }
+        result
+    }
+
+    fn batch_write(&self, writes: &[(u64, Block)]) -> Result<(), MemError> {
+        let call0 = Stamp::now();
+        let result = self.batch_write_inner(writes);
+        match &result {
+            Ok(_) => {
+                self.metrics.note_write_batch(writes.len() as u64);
+                self.metrics.op_between(MemOp::Batch, call0, Stamp::now());
+            }
+            Err(e) => {
+                if e.integrity().is_some() {
+                    self.metrics.integrity_error();
+                }
+            }
+        }
+        result
+    }
+}
+
+impl<B: StoreBackend> EncryptionLayer<B> {
+    fn batch_read_inner(&self, addrs: &[u64]) -> Result<Vec<Block>, MemError> {
         for &addr in addrs {
             self.check_addr(addr)?;
         }
@@ -771,7 +852,16 @@ impl<B: StoreBackend> MemoryAdt for EncryptionLayer<B> {
         }
         let tracing = self.tracing.load(Ordering::Relaxed);
         for (page, idxs) in by_page {
+            let shard_idx = self.shard_index(page);
+            // Lock wait/hold probes need two extra clock reads, so they
+            // are sampled; the histograms keep the distribution shape.
+            let lock_probe = self.metrics.sample().then(Stamp::now);
             let _shard = self.shard(page).read().unwrap_or_else(PoisonError::into_inner);
+            let acquired = lock_probe.map(|w| {
+                let a = Stamp::now();
+                self.metrics.lock_wait(shard_idx, w, a);
+                a
+            });
             let keys = self.keys();
             let meta0 = Instant::now();
             let v = {
@@ -779,11 +869,51 @@ impl<B: StoreBackend> MemoryAdt for EncryptionLayer<B> {
                 self.verify_page(&keys, page, *root, addrs[idxs[0]])?
             };
             let meta1 = Instant::now();
+            // The page verify is the read path's tree walk; its marks
+            // already exist for span tracing, so telemetry reuses them
+            // instead of reading the clock again.
+            self.metrics.stage_duration(
+                MemOp::Read,
+                MemStage::TreeWalk,
+                meta1.saturating_duration_since(meta0),
+            );
             let mut traced: Vec<(u64, ReadMarks)> = Vec::new();
             for &i in &idxs {
                 let addr = addrs[i];
                 let counter = v.cb.counter(self.geo.slot_of(addr));
+                if counter > self.saturation {
+                    self.metrics.counterless_read();
+                }
                 let (block, marks) = self.read_one(&keys, addr, counter)?;
+                // The marks are free (span tracing reads those clocks
+                // anyway), but each histogram record touches a bucket
+                // cache line the workload then evicts, so the per-block
+                // stage records are sampled like the write-path probes.
+                if self.metrics.sample() {
+                    self.metrics.stage_duration(
+                        MemOp::Read,
+                        MemStage::MacVerify,
+                        marks.mac.1.saturating_duration_since(marks.mac.0),
+                    );
+                    if let Some((p0, p1)) = marks.pad {
+                        self.metrics.stage_duration(
+                            MemOp::Read,
+                            MemStage::PadGen,
+                            p1.saturating_duration_since(p0),
+                        );
+                    }
+                    if let Some((x0, x1)) = marks.xts {
+                        self.metrics.stage_duration(
+                            MemOp::Read,
+                            MemStage::PadGen,
+                            x1.saturating_duration_since(x0),
+                        );
+                    }
+                }
+                self.metrics.op_duration(
+                    MemOp::Read,
+                    marks.ready.saturating_duration_since(marks.issue),
+                );
                 out[i] = block;
                 if tracing {
                     traced.push((addr, marks));
@@ -792,11 +922,14 @@ impl<B: StoreBackend> MemoryAdt for EncryptionLayer<B> {
             if tracing {
                 self.emit_read_spans(meta0, meta1, &traced);
             }
+            if let Some(acquired) = acquired {
+                self.metrics.lock_hold(shard_idx, acquired);
+            }
         }
         Ok(out)
     }
 
-    fn batch_write(&self, writes: &[(u64, Block)]) -> Result<(), MemError> {
+    fn batch_write_inner(&self, writes: &[(u64, Block)]) -> Result<(), MemError> {
         for &(addr, _) in writes {
             self.check_addr(addr)?;
         }
@@ -805,20 +938,45 @@ impl<B: StoreBackend> MemoryAdt for EncryptionLayer<B> {
             by_page.entry(self.geo.page_of(addr)).or_default().push(i);
         }
         for (page, idxs) in by_page {
+            let shard_idx = self.shard_index(page);
+            let lock_probe = self.metrics.sample().then(Stamp::now);
             let _shard = self.shard(page).write().unwrap_or_else(PoisonError::into_inner);
+            let acquired = lock_probe.map(|w| {
+                let a = Stamp::now();
+                self.metrics.lock_wait(shard_idx, w, a);
+                a
+            });
             let keys = self.keys();
             let mut root = self.tree.write().unwrap_or_else(PoisonError::into_inner);
+            // The write path has no pre-existing marks to reuse (the
+            // read path rides the span tracer's), so its tree-walk and
+            // per-block stage probes are sampled too.
+            let tree_probe = self.metrics.sample().then(Stamp::now);
             let mut v = self.verify_page(&keys, page, *root, writes[idxs[0]].0)?;
+            if let Some(t0) = tree_probe {
+                self.metrics
+                    .stage_between(MemOp::Write, MemStage::TreeWalk, t0, Stamp::now());
+            }
             for &i in &idxs {
+                // One sampling decision per block: a sampled block gets
+                // the full probe set (op latency, commit, pad gen); an
+                // unsampled block reads no clocks at all.
+                let block_probe = self.metrics.sample();
+                let b0 = block_probe.then(Stamp::now);
                 let (addr, block) = writes[i];
                 let slot = self.geo.slot_of(addr);
                 let old_cb = v.cb.clone();
                 let outcome = v.cb.increment(slot);
+                if outcome.new_counter > self.saturation {
+                    self.metrics.counterless_write();
+                }
                 // On a page roll, verify and decrypt every co-resident
                 // block under its old counter *before* committing
                 // anything, so a tampered neighbour aborts cleanly.
                 let mut reencrypt: Vec<(u64, Block, u64)> = Vec::new();
                 if let Some(others) = &outcome.page_reencryption {
+                    self.metrics.page_roll();
+                    let m0 = Stamp::now();
                     for &(other_slot, new_counter) in others {
                         let other_addr = page * PAGE_BLOCKS + other_slot as u64;
                         if other_addr >= self.geo.data_blocks() {
@@ -834,18 +992,35 @@ impl<B: StoreBackend> MemoryAdt for EncryptionLayer<B> {
                         )?;
                         reencrypt.push((other_addr, pt, new_counter));
                     }
+                    self.metrics
+                        .stage_between(MemOp::Write, MemStage::MacVerify, m0, Stamp::now());
                 }
+                let c0 = block_probe.then(Stamp::now);
                 self.commit_metadata(&keys, page, &mut v, &mut root)?;
-                self.backend.write_word(
-                    self.geo.data_word(addr),
-                    &encrypt_one(&keys, addr, &block, outcome.new_counter, self.saturation),
-                )?;
+                let c1 = c0.map(|_| Stamp::now());
+                let word = encrypt_one(&keys, addr, &block, outcome.new_counter, self.saturation);
+                if let (Some(c0), Some(c1)) = (c0, c1) {
+                    let e1 = Stamp::now();
+                    self.metrics
+                        .stage_between(MemOp::Write, MemStage::Commit, c0, c1);
+                    self.metrics
+                        .stage_between(MemOp::Write, MemStage::PadGen, c1, e1);
+                }
+                self.backend.write_word(self.geo.data_word(addr), &word)?;
+                self.metrics.observe_ciphertext_write(page);
                 for (other_addr, pt, new_counter) in reencrypt {
                     self.backend.write_word(
                         self.geo.data_word(other_addr),
                         &encrypt_one(&keys, other_addr, &pt, new_counter, self.saturation),
                     )?;
+                    self.metrics.observe_ciphertext_write(page);
                 }
+                if let Some(b0) = b0 {
+                    self.metrics.op_between(MemOp::Write, b0, Stamp::now());
+                }
+            }
+            if let Some(acquired) = acquired {
+                self.metrics.lock_hold(shard_idx, acquired);
             }
         }
         Ok(())
@@ -1048,5 +1223,138 @@ mod tests {
         assert_eq!(reopened.read_block(0).unwrap(), pattern(3));
         assert_eq!(reopened.read_block(95).unwrap(), pattern(4));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn metrics_count_traffic_stages_and_locks() {
+        use crate::metrics::{MemOp, MemStage};
+        let mem = layer(130);
+        mem.batch_write(&[(0, pattern(1)), (65, pattern(2))]).unwrap();
+        let _ = mem.batch_read(&[0, 65, 129]).unwrap();
+        let snap = mem.metrics_snapshot();
+        assert_eq!(snap.blocks_written, 2);
+        assert_eq!(snap.blocks_read, 3);
+        assert_eq!(snap.batch_writes, 1);
+        assert_eq!(snap.batch_reads, 1);
+        assert_eq!(snap.integrity_errors, 0);
+        assert_eq!(snap.op(MemOp::Read).latency.count(), 3);
+        // Write op latency is part of the sampled per-block probe set.
+        assert!(snap.op(MemOp::Write).latency.count() <= 2);
+        assert_eq!(snap.op(MemOp::Batch).latency.count(), 2);
+        // The read tree walk reuses the span tracer's marks and records
+        // once per page group, so it is exact: reads span pages {0,1,2}.
+        assert_eq!(snap.op(MemOp::Read).stages[MemStage::TreeWalk as usize].count(), 3);
+        // Per-block stage records and lock waits are sampled 1-in-8, so
+        // only bounds are deterministic here: three read blocks, two
+        // write page groups, five groups total took a shard lock.
+        assert!(snap.op(MemOp::Read).stages[MemStage::MacVerify as usize].count() <= 3);
+        assert!(snap.op(MemOp::Read).stages[MemStage::PadGen as usize].count() <= 3);
+        assert!(snap.op(MemOp::Write).stages[MemStage::TreeWalk as usize].count() <= 2);
+        assert!(snap.op(MemOp::Write).stages[MemStage::Commit as usize].count() <= 2);
+        let waits: u64 = snap.lock_wait.iter().map(|h| h.count()).sum();
+        let holds: u64 = snap.lock_hold.iter().map(|h| h.count()).sum();
+        assert_eq!(waits, holds, "every sampled wait pairs with a hold");
+        assert!(
+            (1..=5).contains(&waits),
+            "the thread's first probe always fires; got {waits} waits"
+        );
+        assert!(snap.store.words_read > 0);
+        assert!(snap.store.words_written > 0);
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn sampled_probes_fire_under_sustained_traffic() {
+        use crate::metrics::{MemOp, MemStage};
+        let mem = layer(64);
+        // Small batches so the per-batch probe stride (lock + tree walk +
+        // one commit per block) is coprime with the 1-in-8 sample period
+        // and every probe site cycles through a firing tick.
+        for round in 0..16u8 {
+            mem.batch_write(&[
+                (0, pattern(round)),
+                (1, pattern(round.wrapping_add(1))),
+                (2, pattern(round.wrapping_add(2))),
+            ])
+            .unwrap();
+            let _ = mem.batch_read(&[0, 1, 2]).unwrap();
+        }
+        let snap = mem.metrics_snapshot();
+        assert_eq!(snap.blocks_written, 48);
+        assert_eq!(snap.blocks_read, 48);
+        let write_lat = snap.op(MemOp::Write).latency.count();
+        assert!(
+            (1..=48).contains(&write_lat),
+            "sampled write latency probes must fire; got {write_lat}"
+        );
+        assert_eq!(snap.op(MemOp::Read).latency.count(), 48);
+        assert!(snap.op(MemOp::Write).stages[MemStage::TreeWalk as usize].count() >= 1);
+        assert!(snap.op(MemOp::Write).stages[MemStage::Commit as usize].count() >= 1);
+        assert!(snap.op(MemOp::Write).stages[MemStage::PadGen as usize].count() >= 1);
+        assert!(snap.op(MemOp::Read).stages[MemStage::MacVerify as usize].count() >= 1);
+        assert!(snap.op(MemOp::Read).stages[MemStage::PadGen as usize].count() >= 1);
+        let waits: u64 = snap.lock_wait.iter().map(|h| h.count()).sum();
+        assert!(waits >= 1, "sustained traffic must sample some lock waits");
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn metrics_track_page_rolls_and_observed_writes() {
+        let mem = layer(128);
+        mem.write_block(1, &pattern(7)).unwrap();
+        for i in 0..128u32 {
+            mem.write_block(0, &pattern(i as u8)).unwrap();
+        }
+        let snap = mem.metrics_snapshot();
+        assert!(snap.page_rolls >= 1, "minor overflow rolled the page");
+        // 129 direct writes plus the co-residents re-encrypted on rolls.
+        assert!(snap.observed_writes_total > 129);
+        assert_eq!(snap.observed_writes_max_page, 0);
+        assert_eq!(snap.observed_writes_max, mem.metrics().observed_writes(0));
+        assert_eq!(mem.metrics().observed_writes(1), snap.observed_writes_total - mem.metrics().observed_writes(0));
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn metrics_track_rekey_progress_and_key_dwell() {
+        let mem = layer(130);
+        mem.batch_write(&[(0, pattern(1)), (129, pattern(2))]).unwrap();
+        mem.rekey([0x77; 32]).unwrap();
+        let snap = mem.metrics_snapshot();
+        assert_eq!(snap.rekey.sweeps, 1);
+        assert!(!snap.rekey.in_progress);
+        assert_eq!(snap.rekey.pages_total, 3);
+        assert_eq!(snap.rekey.pages_done, 3);
+        // The sweep re-wrote every live data block.
+        assert!(snap.observed_writes_total >= 2 + 130);
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn metrics_prom_exposition_has_layer_and_store_families() {
+        let mem = layer(64);
+        mem.write_block(0, &pattern(5)).unwrap();
+        let text = mem.metrics_prom();
+        for family in [
+            "clme_mem_blocks_written_total",
+            "clme_mem_op_latency_ps",
+            "clme_mem_lock_wait_ps",
+            "clme_mem_rekey_in_progress",
+            "clme_store_words_written_total",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry-off")]
+    fn telemetry_off_layer_still_round_trips_with_empty_snapshot() {
+        let mem = layer(64);
+        mem.write_block(0, &pattern(5)).unwrap();
+        assert_eq!(mem.read_block(0).unwrap(), pattern(5));
+        let snap = mem.metrics_snapshot();
+        assert_eq!(snap.blocks_written, 0);
+        assert!(mem.metrics_prom().is_empty());
     }
 }

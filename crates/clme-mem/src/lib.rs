@@ -47,10 +47,15 @@ pub mod adt;
 pub mod error;
 pub mod geometry;
 pub mod layer;
+pub mod metrics;
 pub mod store;
 
 pub use adt::{Block, MemoryAdt, BLOCK_BYTES};
 pub use error::{IntegrityError, MemError, TamperClass};
 pub use geometry::{Geometry, Region, NODE_ARITY, PAGE_BLOCKS};
 pub use layer::{EncryptionLayer, LayerOptions, RekeyReport};
+pub use metrics::{
+    MemMetrics, MemMetricsSnapshot, MemOp, MemStage, OpStats, RekeyStats, Stamp, StoreMetrics,
+    StoreStats, MEM_OPS, MEM_STAGES,
+};
 pub use store::{FileBackend, StoreBackend, StoredWord, VecBackend, WORD_BYTES};

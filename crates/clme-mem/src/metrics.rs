@@ -1,0 +1,1160 @@
+//! Always-on production telemetry for the encryption layer.
+//!
+//! [`MemMetrics`] is built from the atomic primitives in
+//! [`clme_obs::registry`]: relaxed counters, gauges, and per-thread
+//! sharded log2 histograms, so the hot paths pay a handful of relaxed
+//! RMWs and a few host-clock reads per operation — never a lock, never
+//! an allocation. What it watches, per the scaling roadmap:
+//!
+//! * **Lock contention** — wait- and hold-time histograms per page-shard
+//!   lock (the finer-locking work item needs a before/after).
+//! * **Crypto stages** — tree walk, MAC verify, pad generation, and
+//!   metadata commit latencies, split by operation class (single read /
+//!   single write / whole batch call).
+//! * **Store behaviour** — [`StoreMetrics`]: word traffic, the file
+//!   backend's page-cache hit/miss/eviction counts, and file I/O ops.
+//! * **Ciphertext-write observation counters** — per-page counts of how
+//!   many ciphertexts an adversary watching the store has seen for that
+//!   page (CipherGuard's leakage budget, here as a first-class metric).
+//! * **Rekey progress and key age** — sweep progress gauges, key dwell
+//!   time, and the dwell of the key just retired (Security Through
+//!   Amnesia's lifetime concern, live instead of test-only).
+//!
+//! Compiling the crate with the `telemetry-off` feature replaces every
+//! type in this module with a zero-sized, no-op twin: [`Stamp::now`]
+//! stops reading the clock and every record call compiles to nothing.
+//! The `ci.sh` overhead gate benches both builds and fails the PR if
+//! the always-on default costs more than 3% throughput.
+//!
+//! Snapshot types ([`MemMetricsSnapshot`] and friends) are compiled in
+//! both modes so callers (the `clme mem --stats` pipeline) are
+//! feature-agnostic; under `telemetry-off` a snapshot is simply empty.
+
+use clme_obs::Log2Histogram;
+use clme_types::json::JsonValue;
+
+#[cfg(not(feature = "telemetry-off"))]
+use clme_obs::registry::{Counter, Gauge, Registry, Sample, ShardedHistogram};
+#[cfg(not(feature = "telemetry-off"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(feature = "telemetry-off"))]
+use std::sync::Arc;
+#[cfg(not(feature = "telemetry-off"))]
+use std::time::Instant;
+
+#[cfg(feature = "telemetry-off")]
+use clme_obs::registry::Sample;
+
+use std::time::Duration;
+
+/// Operation classes the per-op histograms split on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemOp {
+    /// One block read (per-block latency inside any read call).
+    Read = 0,
+    /// One block written (per-block latency inside any write call).
+    Write = 1,
+    /// A whole `batch_read`/`batch_write` call, any size.
+    Batch = 2,
+}
+
+/// Number of [`MemOp`] classes.
+pub const MEM_OPS: usize = 3;
+
+impl MemOp {
+    /// All classes, index order.
+    pub const ALL: [MemOp; MEM_OPS] = [MemOp::Read, MemOp::Write, MemOp::Batch];
+
+    /// Stable lower-case name (label value in the Prometheus output).
+    pub fn name(self) -> &'static str {
+        match self {
+            MemOp::Read => "read",
+            MemOp::Write => "write",
+            MemOp::Batch => "batch",
+        }
+    }
+}
+
+/// Crypto pipeline stages the layer times.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemStage {
+    /// Root → tree path → counter word verification.
+    TreeWalk = 0,
+    /// Data-block MAC check (reads; write-side only on page rolls).
+    MacVerify = 1,
+    /// AES pad generation + encrypt (CTR) or XTS work.
+    PadGen = 2,
+    /// Metadata bump + reseal + write-back.
+    Commit = 3,
+}
+
+/// Number of [`MemStage`]s.
+pub const MEM_STAGES: usize = 4;
+
+impl MemStage {
+    /// All stages, index order.
+    pub const ALL: [MemStage; MEM_STAGES] = [
+        MemStage::TreeWalk,
+        MemStage::MacVerify,
+        MemStage::PadGen,
+        MemStage::Commit,
+    ];
+
+    /// Stable dashed name (label value in the Prometheus output).
+    pub fn name(self) -> &'static str {
+        match self {
+            MemStage::TreeWalk => "tree-walk",
+            MemStage::MacVerify => "mac-verify",
+            MemStage::PadGen => "pad-gen",
+            MemStage::Commit => "commit",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot types (compiled in both modes)
+// ---------------------------------------------------------------------
+
+/// Latency summary for one [`MemOp`] class.
+#[derive(Clone, Debug, Default)]
+pub struct OpStats {
+    /// End-to-end latency of the class.
+    pub latency: Log2Histogram,
+    /// Per-[`MemStage`] latencies inside the class.
+    pub stages: [Log2Histogram; MEM_STAGES],
+}
+
+/// Rekey-sweep progress and key-lifetime gauges.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RekeyStats {
+    /// Completed sweeps.
+    pub sweeps: u64,
+    /// Pages in the sweep currently running (or the last one).
+    pub pages_total: u64,
+    /// Pages already re-encrypted by that sweep.
+    pub pages_done: u64,
+    /// Whether a sweep holds the layer right now.
+    pub in_progress: bool,
+    /// Milliseconds the current master key has been live.
+    pub key_dwell_ms: u64,
+    /// Wall milliseconds the last completed sweep took.
+    pub last_sweep_ms: u64,
+    /// How long the previously retired key had been live, in ms.
+    pub last_old_key_dwell_ms: u64,
+}
+
+/// Backend counters out of [`StoreMetrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Stored words read.
+    pub words_read: u64,
+    /// Stored words written.
+    pub words_written: u64,
+    /// File-backend page-cache hits.
+    pub page_cache_hits: u64,
+    /// File-backend page-cache misses (each one is a file read).
+    pub page_cache_misses: u64,
+    /// Cache fills that displaced a different live page.
+    pub page_cache_evictions: u64,
+    /// Positioned file reads issued.
+    pub file_reads: u64,
+    /// Positioned file writes issued.
+    pub file_writes: u64,
+}
+
+impl StoreStats {
+    /// Page-cache hit rate in `[0, 1]` (0 when the backend has no cache
+    /// or saw no traffic).
+    pub fn page_cache_hit_rate(&self) -> f64 {
+        let total = self.page_cache_hits + self.page_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.page_cache_hits as f64 / total as f64
+        }
+    }
+
+    fn delta_since(&self, base: &StoreStats) -> StoreStats {
+        StoreStats {
+            words_read: self.words_read - base.words_read,
+            words_written: self.words_written - base.words_written,
+            page_cache_hits: self.page_cache_hits - base.page_cache_hits,
+            page_cache_misses: self.page_cache_misses - base.page_cache_misses,
+            page_cache_evictions: self.page_cache_evictions - base.page_cache_evictions,
+            file_reads: self.file_reads - base.file_reads,
+            file_writes: self.file_writes - base.file_writes,
+        }
+    }
+}
+
+/// A point-in-time copy of every metric [`MemMetrics`] keeps.
+///
+/// Because every underlying counter and histogram is monotonic, two
+/// snapshots bracket the traffic between them: [`delta_since`]
+/// ([`MemMetricsSnapshot::delta_since`]) is the `--watch` epoch idiom,
+/// exactly like [`Log2Histogram::delta_since`] in the simulator's
+/// `SeriesRecorder`.
+#[derive(Clone, Debug, Default)]
+pub struct MemMetricsSnapshot {
+    /// Per-class latency + stage histograms, indexed by [`MemOp`].
+    pub ops: Vec<OpStats>,
+    /// Per page-shard lock wait-time histograms.
+    pub lock_wait: Vec<Log2Histogram>,
+    /// Per page-shard lock hold-time histograms.
+    pub lock_hold: Vec<Log2Histogram>,
+    /// Blocks decrypted for callers.
+    pub blocks_read: u64,
+    /// Blocks encrypted for callers.
+    pub blocks_written: u64,
+    /// `batch_read` calls.
+    pub batch_reads: u64,
+    /// `batch_write` calls.
+    pub batch_writes: u64,
+    /// Operations that failed integrity verification.
+    pub integrity_errors: u64,
+    /// Page rolls (whole-page re-encryptions on minor-counter overflow).
+    pub page_rolls: u64,
+    /// Reads served from counterless (XTS) blocks.
+    pub counterless_reads: u64,
+    /// Writes landing on counterless (XTS) blocks.
+    pub counterless_writes: u64,
+    /// Ciphertext writes an observer of the store has seen, total.
+    pub observed_writes_total: u64,
+    /// Largest per-page observation count.
+    pub observed_writes_max: u64,
+    /// The page holding that largest count.
+    pub observed_writes_max_page: u64,
+    /// Rekey progress and key-age gauges.
+    pub rekey: RekeyStats,
+    /// Backend counters (zero if the backend keeps none).
+    pub store: StoreStats,
+}
+
+fn hist_json(h: &Log2Histogram) -> JsonValue {
+    let ns = |ps: u64| ps as f64 / 1000.0;
+    JsonValue::Obj(vec![
+        ("count".into(), JsonValue::Num(h.count() as f64)),
+        ("p50_ns".into(), JsonValue::Num(ns(h.percentile_ps(0.50)))),
+        ("p95_ns".into(), JsonValue::Num(ns(h.percentile_ps(0.95)))),
+        ("p99_ns".into(), JsonValue::Num(ns(h.percentile_ps(0.99)))),
+        ("mean_ns".into(), JsonValue::Num(h.mean_ps() / 1000.0)),
+        ("max_ns".into(), JsonValue::Num(ns(h.max_ps()))),
+    ])
+}
+
+impl MemMetricsSnapshot {
+    /// An empty snapshot shaped for `shards` lock shards.
+    pub fn empty(shards: usize) -> MemMetricsSnapshot {
+        MemMetricsSnapshot {
+            ops: (0..MEM_OPS).map(|_| OpStats::default()).collect(),
+            lock_wait: vec![Log2Histogram::new(); shards],
+            lock_hold: vec![Log2Histogram::new(); shards],
+            ..MemMetricsSnapshot::default()
+        }
+    }
+
+    /// Latency stats for one op class (empty stats if the snapshot was
+    /// taken with telemetry compiled out).
+    pub fn op(&self, op: MemOp) -> OpStats {
+        self.ops.get(op as usize).cloned().unwrap_or_default()
+    }
+
+    /// The traffic between `base` (an earlier snapshot of the same
+    /// layer) and `self`. Monotonic values subtract; gauges (rekey
+    /// progress, observation maxima) keep their current level.
+    pub fn delta_since(&self, base: &MemMetricsSnapshot) -> MemMetricsSnapshot {
+        let hist_delta = |a: &[Log2Histogram], b: &[Log2Histogram]| -> Vec<Log2Histogram> {
+            a.iter()
+                .enumerate()
+                .map(|(i, h)| match b.get(i) {
+                    Some(bh) => h.delta_since(bh),
+                    None => h.clone(),
+                })
+                .collect()
+        };
+        MemMetricsSnapshot {
+            ops: self
+                .ops
+                .iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    let empty = OpStats::default();
+                    let b = base.ops.get(i).unwrap_or(&empty);
+                    OpStats {
+                        latency: o.latency.delta_since(&b.latency),
+                        stages: core::array::from_fn(|s| o.stages[s].delta_since(&b.stages[s])),
+                    }
+                })
+                .collect(),
+            lock_wait: hist_delta(&self.lock_wait, &base.lock_wait),
+            lock_hold: hist_delta(&self.lock_hold, &base.lock_hold),
+            blocks_read: self.blocks_read - base.blocks_read,
+            blocks_written: self.blocks_written - base.blocks_written,
+            batch_reads: self.batch_reads - base.batch_reads,
+            batch_writes: self.batch_writes - base.batch_writes,
+            integrity_errors: self.integrity_errors - base.integrity_errors,
+            page_rolls: self.page_rolls - base.page_rolls,
+            counterless_reads: self.counterless_reads - base.counterless_reads,
+            counterless_writes: self.counterless_writes - base.counterless_writes,
+            observed_writes_total: self.observed_writes_total - base.observed_writes_total,
+            observed_writes_max: self.observed_writes_max,
+            observed_writes_max_page: self.observed_writes_max_page,
+            rekey: self.rekey.clone(),
+            store: self.store.delta_since(&base.store),
+        }
+    }
+
+    /// The machine-readable form of the whole snapshot, the `stats`
+    /// object inside `BENCH_mem.json` and `--stats-json` output.
+    pub fn to_json(&self) -> JsonValue {
+        let ops = JsonValue::Obj(
+            MemOp::ALL
+                .iter()
+                .map(|&op| {
+                    let stats = self.op(op);
+                    let mut fields = vec![("latency".into(), hist_json(&stats.latency))];
+                    fields.push((
+                        "stages".into(),
+                        JsonValue::Obj(
+                            MemStage::ALL
+                                .iter()
+                                .map(|&s| (s.name().into(), hist_json(&stats.stages[s as usize])))
+                                .collect(),
+                        ),
+                    ));
+                    (op.name().into(), JsonValue::Obj(fields))
+                })
+                .collect(),
+        );
+        let shard_hists = |hists: &[Log2Histogram]| {
+            JsonValue::Arr(
+                hists
+                    .iter()
+                    .enumerate()
+                    .map(|(i, h)| {
+                        let mut obj = vec![("shard".into(), JsonValue::Num(i as f64))];
+                        if let JsonValue::Obj(fields) = hist_json(h) {
+                            obj.extend(fields);
+                        }
+                        JsonValue::Obj(obj)
+                    })
+                    .collect(),
+            )
+        };
+        JsonValue::Obj(vec![
+            ("ops".into(), ops),
+            ("lock_wait".into(), shard_hists(&self.lock_wait)),
+            ("lock_hold".into(), shard_hists(&self.lock_hold)),
+            (
+                "counters".into(),
+                JsonValue::Obj(vec![
+                    ("blocks_read".into(), JsonValue::Num(self.blocks_read as f64)),
+                    ("blocks_written".into(), JsonValue::Num(self.blocks_written as f64)),
+                    ("batch_reads".into(), JsonValue::Num(self.batch_reads as f64)),
+                    ("batch_writes".into(), JsonValue::Num(self.batch_writes as f64)),
+                    (
+                        "integrity_errors".into(),
+                        JsonValue::Num(self.integrity_errors as f64),
+                    ),
+                    ("page_rolls".into(), JsonValue::Num(self.page_rolls as f64)),
+                    (
+                        "counterless_reads".into(),
+                        JsonValue::Num(self.counterless_reads as f64),
+                    ),
+                    (
+                        "counterless_writes".into(),
+                        JsonValue::Num(self.counterless_writes as f64),
+                    ),
+                ]),
+            ),
+            (
+                "observation".into(),
+                JsonValue::Obj(vec![
+                    (
+                        "ciphertext_writes_total".into(),
+                        JsonValue::Num(self.observed_writes_total as f64),
+                    ),
+                    (
+                        "ciphertext_writes_max".into(),
+                        JsonValue::Num(self.observed_writes_max as f64),
+                    ),
+                    (
+                        "ciphertext_writes_max_page".into(),
+                        JsonValue::Num(self.observed_writes_max_page as f64),
+                    ),
+                ]),
+            ),
+            (
+                "rekey".into(),
+                JsonValue::Obj(vec![
+                    ("sweeps".into(), JsonValue::Num(self.rekey.sweeps as f64)),
+                    ("pages_total".into(), JsonValue::Num(self.rekey.pages_total as f64)),
+                    ("pages_done".into(), JsonValue::Num(self.rekey.pages_done as f64)),
+                    ("in_progress".into(), JsonValue::Bool(self.rekey.in_progress)),
+                    ("key_dwell_ms".into(), JsonValue::Num(self.rekey.key_dwell_ms as f64)),
+                    ("last_sweep_ms".into(), JsonValue::Num(self.rekey.last_sweep_ms as f64)),
+                    (
+                        "last_old_key_dwell_ms".into(),
+                        JsonValue::Num(self.rekey.last_old_key_dwell_ms as f64),
+                    ),
+                ]),
+            ),
+            (
+                "store".into(),
+                JsonValue::Obj(vec![
+                    ("words_read".into(), JsonValue::Num(self.store.words_read as f64)),
+                    ("words_written".into(), JsonValue::Num(self.store.words_written as f64)),
+                    (
+                        "page_cache_hits".into(),
+                        JsonValue::Num(self.store.page_cache_hits as f64),
+                    ),
+                    (
+                        "page_cache_misses".into(),
+                        JsonValue::Num(self.store.page_cache_misses as f64),
+                    ),
+                    (
+                        "page_cache_evictions".into(),
+                        JsonValue::Num(self.store.page_cache_evictions as f64),
+                    ),
+                    (
+                        "page_cache_hit_rate".into(),
+                        JsonValue::Num(self.store.page_cache_hit_rate()),
+                    ),
+                    ("file_reads".into(), JsonValue::Num(self.store.file_reads as f64)),
+                    ("file_writes".into(), JsonValue::Num(self.store.file_writes as f64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live metrics — real implementation
+// ---------------------------------------------------------------------
+
+/// A host-clock mark. With telemetry on this is an [`Instant`]; under
+/// `telemetry-off` it is a zero-sized token and [`Stamp::now`] does not
+/// read the clock, so instrumentation sites cost literally nothing.
+#[cfg(not(feature = "telemetry-off"))]
+#[derive(Clone, Copy, Debug)]
+pub struct Stamp(Instant);
+
+#[cfg(not(feature = "telemetry-off"))]
+impl Stamp {
+    /// The current instant.
+    #[inline]
+    pub fn now() -> Stamp {
+        Stamp(Instant::now())
+    }
+
+    #[inline]
+    fn since(self, earlier: Stamp) -> Duration {
+        self.0.saturating_duration_since(earlier.0)
+    }
+}
+
+/// Every `SAMPLE_EVERY`-th [`MemMetrics::sample`] call per thread says
+/// yes; the rest skip the clock-reading probes entirely.
+#[cfg(not(feature = "telemetry-off"))]
+const SAMPLE_EVERY: u64 = 8;
+
+#[cfg(not(feature = "telemetry-off"))]
+thread_local! {
+    static SAMPLE_TICK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+struct OpHandles {
+    latency: Arc<ShardedHistogram>,
+    stages: [Arc<ShardedHistogram>; MEM_STAGES],
+}
+
+/// Live telemetry for one [`EncryptionLayer`](crate::EncryptionLayer).
+///
+/// Handles are registered once at layer construction in an internal
+/// [`Registry`]; the record methods below are the hot path (relaxed
+/// atomics, no locks, no allocation) and the snapshot/exposition
+/// methods are the cold path.
+#[cfg(not(feature = "telemetry-off"))]
+pub struct MemMetrics {
+    registry: Registry,
+    ops: Vec<OpHandles>,
+    lock_wait: Vec<Arc<ShardedHistogram>>,
+    lock_hold: Vec<Arc<ShardedHistogram>>,
+    blocks_read: Arc<Counter>,
+    blocks_written: Arc<Counter>,
+    batch_reads: Arc<Counter>,
+    batch_writes: Arc<Counter>,
+    integrity_errors: Arc<Counter>,
+    page_rolls: Arc<Counter>,
+    counterless_reads: Arc<Counter>,
+    counterless_writes: Arc<Counter>,
+    observed_total: Arc<Counter>,
+    observed: Vec<AtomicU64>,
+    observed_max: Arc<Gauge>,
+    observed_max_page: Arc<Gauge>,
+    rekey_sweeps: Arc<Counter>,
+    rekey_pages_total: Arc<Gauge>,
+    rekey_pages_done: Arc<Gauge>,
+    rekey_in_progress: Arc<Gauge>,
+    key_dwell_ms: Arc<Gauge>,
+    rekey_last_ms: Arc<Gauge>,
+    old_key_dwell_ms: Arc<Gauge>,
+    epoch: Instant,
+    key_epoch_ms: AtomicU64,
+    sweep_start_ms: AtomicU64,
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+impl MemMetrics {
+    /// Builds the full metric set for a layer with `lock_shards` page
+    /// shards over `pages` pages.
+    pub fn new(lock_shards: usize, pages: u64) -> MemMetrics {
+        let registry = Registry::new();
+        let ok = "static metric names are valid";
+        let mut ops = Vec::with_capacity(MEM_OPS);
+        for op in MemOp::ALL {
+            let latency = registry
+                .histogram(
+                    "clme_mem_op_latency_ps",
+                    "end-to-end operation latency",
+                    &[("op", op.name())],
+                )
+                .expect(ok);
+            let stages = core::array::from_fn(|s| {
+                registry
+                    .histogram(
+                        "clme_mem_stage_latency_ps",
+                        "crypto pipeline stage latency",
+                        &[("op", op.name()), ("stage", MemStage::ALL[s].name())],
+                    )
+                    .expect(ok)
+            });
+            ops.push(OpHandles { latency, stages });
+        }
+        let mut lock_wait = Vec::with_capacity(lock_shards);
+        let mut lock_hold = Vec::with_capacity(lock_shards);
+        for shard in 0..lock_shards {
+            let label = shard.to_string();
+            lock_wait.push(
+                registry
+                    .histogram(
+                        "clme_mem_lock_wait_ps",
+                        "page-shard lock wait time",
+                        &[("shard", &label)],
+                    )
+                    .expect(ok),
+            );
+            lock_hold.push(
+                registry
+                    .histogram(
+                        "clme_mem_lock_hold_ps",
+                        "page-shard lock hold time",
+                        &[("shard", &label)],
+                    )
+                    .expect(ok),
+            );
+        }
+        let counter = |name: &str, help: &str| registry.counter(name, help, &[]).expect(ok);
+        let gauge = |name: &str, help: &str| registry.gauge(name, help, &[]).expect(ok);
+        MemMetrics {
+            ops,
+            lock_wait,
+            lock_hold,
+            blocks_read: counter("clme_mem_blocks_read_total", "blocks decrypted for callers"),
+            blocks_written: counter("clme_mem_blocks_written_total", "blocks encrypted for callers"),
+            batch_reads: counter("clme_mem_batch_reads_total", "batch_read calls"),
+            batch_writes: counter("clme_mem_batch_writes_total", "batch_write calls"),
+            integrity_errors: counter(
+                "clme_mem_integrity_errors_total",
+                "operations failing integrity verification",
+            ),
+            page_rolls: counter("clme_mem_page_rolls_total", "whole-page re-encryptions"),
+            counterless_reads: counter(
+                "clme_mem_counterless_reads_total",
+                "reads from counterless (XTS) blocks",
+            ),
+            counterless_writes: counter(
+                "clme_mem_counterless_writes_total",
+                "writes to counterless (XTS) blocks",
+            ),
+            observed_total: counter(
+                "clme_mem_ciphertext_writes_total",
+                "ciphertext writes visible to a store observer",
+            ),
+            observed: (0..pages).map(|_| AtomicU64::new(0)).collect(),
+            observed_max: gauge(
+                "clme_mem_ciphertext_writes_max",
+                "largest per-page observation count",
+            ),
+            observed_max_page: gauge(
+                "clme_mem_ciphertext_writes_max_page",
+                "page with the largest observation count",
+            ),
+            rekey_sweeps: counter("clme_mem_rekey_sweeps_total", "completed rekey sweeps"),
+            rekey_pages_total: gauge("clme_mem_rekey_pages", "pages in the current/last sweep"),
+            rekey_pages_done: gauge("clme_mem_rekey_pages_done", "pages swept so far"),
+            rekey_in_progress: gauge("clme_mem_rekey_in_progress", "1 while a sweep runs"),
+            key_dwell_ms: gauge("clme_mem_key_dwell_ms", "current master key age"),
+            rekey_last_ms: gauge("clme_mem_rekey_last_ms", "duration of the last sweep"),
+            old_key_dwell_ms: gauge(
+                "clme_mem_old_key_dwell_ms",
+                "lifetime of the most recently retired key",
+            ),
+            epoch: Instant::now(),
+            key_epoch_ms: AtomicU64::new(0),
+            sweep_start_ms: AtomicU64::new(0),
+            registry,
+        }
+    }
+
+    #[inline]
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// The sampling decision for probes that must *read the clock* to
+    /// measure (stage stamps, lock wait/hold on the batch paths): true
+    /// on every [`SAMPLE_EVERY`]-th call on this thread. A host clock
+    /// read costs ~35 ns; sampling keeps the latency *distributions*
+    /// while bounding the per-block cost. Counters and op latencies
+    /// stay exhaustive — they either don't read the clock or reuse
+    /// marks the layer already collects.
+    #[inline]
+    pub fn sample(&self) -> bool {
+        SAMPLE_TICK.with(|tick| {
+            let t = tick.get();
+            tick.set(t.wrapping_add(1));
+            t % SAMPLE_EVERY == 0
+        })
+    }
+
+    /// Records a shard-lock wait interval.
+    #[inline]
+    pub fn lock_wait(&self, shard: usize, from: Stamp, to: Stamp) {
+        self.lock_wait[shard].record_duration(to.since(from));
+    }
+
+    /// Records a shard-lock hold that started at `from` and ends now.
+    #[inline]
+    pub fn lock_hold(&self, shard: usize, from: Stamp) {
+        self.lock_hold[shard].record_duration(Stamp::now().since(from));
+    }
+
+    /// Records an op latency from a stamp pair.
+    #[inline]
+    pub fn op_between(&self, op: MemOp, from: Stamp, to: Stamp) {
+        self.ops[op as usize].latency.record_duration(to.since(from));
+    }
+
+    /// Records an op latency measured outside (e.g. from read marks the
+    /// layer already collects for span tracing).
+    #[inline]
+    pub fn op_duration(&self, op: MemOp, d: Duration) {
+        self.ops[op as usize].latency.record_duration(d);
+    }
+
+    /// Records a stage latency from a stamp pair.
+    #[inline]
+    pub fn stage_between(&self, op: MemOp, stage: MemStage, from: Stamp, to: Stamp) {
+        self.ops[op as usize].stages[stage as usize].record_duration(to.since(from));
+    }
+
+    /// Records a stage latency measured outside.
+    #[inline]
+    pub fn stage_duration(&self, op: MemOp, stage: MemStage, d: Duration) {
+        self.ops[op as usize].stages[stage as usize].record_duration(d);
+    }
+
+    /// One `batch_read` call that decrypted `blocks` blocks.
+    #[inline]
+    pub fn note_read_batch(&self, blocks: u64) {
+        self.batch_reads.inc();
+        self.blocks_read.add(blocks);
+    }
+
+    /// One `batch_write` call that encrypted `blocks` blocks.
+    #[inline]
+    pub fn note_write_batch(&self, blocks: u64) {
+        self.batch_writes.inc();
+        self.blocks_written.add(blocks);
+    }
+
+    /// An operation failed integrity verification.
+    #[inline]
+    pub fn integrity_error(&self) {
+        self.integrity_errors.inc();
+    }
+
+    /// A minor-counter overflow re-encrypted a whole page.
+    #[inline]
+    pub fn page_roll(&self) {
+        self.page_rolls.inc();
+    }
+
+    /// A read hit a counterless (XTS) block.
+    #[inline]
+    pub fn counterless_read(&self) {
+        self.counterless_reads.inc();
+    }
+
+    /// A write landed on a counterless (XTS) block.
+    #[inline]
+    pub fn counterless_write(&self) {
+        self.counterless_writes.inc();
+    }
+
+    /// A fresh ciphertext for `page` became visible in the store.
+    #[inline]
+    pub fn observe_ciphertext_write(&self, page: u64) {
+        self.observed_total.inc();
+        if let Some(slot) = self.observed.get(page as usize) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Ciphertext writes observed for one page.
+    pub fn observed_writes(&self, page: u64) -> u64 {
+        self.observed
+            .get(page as usize)
+            .map(|s| s.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// A rekey sweep over `pages` pages is starting (locks held).
+    pub fn rekey_begin(&self, pages: u64) {
+        self.rekey_pages_total.set(pages);
+        self.rekey_pages_done.set(0);
+        self.rekey_in_progress.set(1);
+        self.sweep_start_ms.store(self.now_ms(), Ordering::Relaxed);
+    }
+
+    /// One page finished re-encrypting.
+    #[inline]
+    pub fn rekey_page_done(&self) {
+        self.rekey_pages_done.inc();
+    }
+
+    /// The sweep finished (successfully or not). On success the old
+    /// key's dwell time is recorded and the key epoch restarts.
+    pub fn rekey_end(&self, ok: bool) {
+        self.rekey_in_progress.set(0);
+        let now = self.now_ms();
+        if ok {
+            self.rekey_sweeps.inc();
+            self.rekey_last_ms
+                .set(now - self.sweep_start_ms.load(Ordering::Relaxed));
+            let key_epoch = self.key_epoch_ms.swap(now, Ordering::Relaxed);
+            self.old_key_dwell_ms.set(now - key_epoch);
+        }
+    }
+
+    /// Refreshes gauges derived at read time (key dwell, observation
+    /// maxima) so snapshots and scrapes see current values.
+    fn refresh_derived(&self) {
+        self.key_dwell_ms
+            .set(self.now_ms() - self.key_epoch_ms.load(Ordering::Relaxed));
+        let mut max = 0u64;
+        let mut max_page = 0u64;
+        for (page, slot) in self.observed.iter().enumerate() {
+            let v = slot.load(Ordering::Relaxed);
+            if v > max {
+                max = v;
+                max_page = page as u64;
+            }
+        }
+        self.observed_max.set(max);
+        self.observed_max_page.set(max_page);
+    }
+
+    /// Copies every metric out, merging histogram shards. Pass the
+    /// backend's [`StoreMetrics`] to fold its counters in.
+    pub fn snapshot(&self, store: Option<&StoreMetrics>) -> MemMetricsSnapshot {
+        self.refresh_derived();
+        MemMetricsSnapshot {
+            ops: self
+                .ops
+                .iter()
+                .map(|o| OpStats {
+                    latency: o.latency.merge(),
+                    stages: core::array::from_fn(|s| o.stages[s].merge()),
+                })
+                .collect(),
+            lock_wait: self.lock_wait.iter().map(|h| h.merge()).collect(),
+            lock_hold: self.lock_hold.iter().map(|h| h.merge()).collect(),
+            blocks_read: self.blocks_read.get(),
+            blocks_written: self.blocks_written.get(),
+            batch_reads: self.batch_reads.get(),
+            batch_writes: self.batch_writes.get(),
+            integrity_errors: self.integrity_errors.get(),
+            page_rolls: self.page_rolls.get(),
+            counterless_reads: self.counterless_reads.get(),
+            counterless_writes: self.counterless_writes.get(),
+            observed_writes_total: self.observed_total.get(),
+            observed_writes_max: self.observed_max.get(),
+            observed_writes_max_page: self.observed_max_page.get(),
+            rekey: RekeyStats {
+                sweeps: self.rekey_sweeps.get(),
+                pages_total: self.rekey_pages_total.get(),
+                pages_done: self.rekey_pages_done.get(),
+                in_progress: self.rekey_in_progress.get() != 0,
+                key_dwell_ms: self.key_dwell_ms.get(),
+                last_sweep_ms: self.rekey_last_ms.get(),
+                last_old_key_dwell_ms: self.old_key_dwell_ms.get(),
+            },
+            store: store.map(|s| s.snapshot()).unwrap_or_default(),
+        }
+    }
+
+    /// Every registered metric as exposition samples (the layer's plus,
+    /// when given, the backend's), ready for [`clme_obs::prom::render`].
+    pub fn prom_samples(&self, store: Option<&StoreMetrics>) -> Vec<Sample> {
+        self.refresh_derived();
+        let mut samples = self.registry.snapshot();
+        if let Some(s) = store {
+            samples.extend(s.registry.snapshot());
+        }
+        samples
+    }
+}
+
+/// Per-backend store counters: word traffic, page-cache behaviour, and
+/// file I/O. Backends own one and report it via
+/// [`StoreBackend::store_metrics`](crate::StoreBackend::store_metrics).
+#[cfg(not(feature = "telemetry-off"))]
+pub struct StoreMetrics {
+    registry: Registry,
+    words_read: Arc<Counter>,
+    words_written: Arc<Counter>,
+    page_cache_hits: Arc<Counter>,
+    page_cache_misses: Arc<Counter>,
+    page_cache_evictions: Arc<Counter>,
+    file_reads: Arc<Counter>,
+    file_writes: Arc<Counter>,
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+impl StoreMetrics {
+    /// Builds the counter set.
+    pub fn new() -> StoreMetrics {
+        let registry = Registry::new();
+        let ok = "static metric names are valid";
+        let counter = |name: &str, help: &str| registry.counter(name, help, &[]).expect(ok);
+        StoreMetrics {
+            words_read: counter("clme_store_words_read_total", "stored words read"),
+            words_written: counter("clme_store_words_written_total", "stored words written"),
+            page_cache_hits: counter("clme_store_page_cache_hits_total", "page-cache hits"),
+            page_cache_misses: counter("clme_store_page_cache_misses_total", "page-cache misses"),
+            page_cache_evictions: counter(
+                "clme_store_page_cache_evictions_total",
+                "cache fills displacing a live page",
+            ),
+            file_reads: counter("clme_store_file_reads_total", "positioned file reads"),
+            file_writes: counter("clme_store_file_writes_total", "positioned file writes"),
+            registry,
+        }
+    }
+
+    /// One stored word read.
+    #[inline]
+    pub fn word_read(&self) {
+        self.words_read.inc();
+    }
+
+    /// One stored word written.
+    #[inline]
+    pub fn word_written(&self) {
+        self.words_written.inc();
+    }
+
+    /// A page-cache hit.
+    #[inline]
+    pub fn cache_hit(&self) {
+        self.page_cache_hits.inc();
+    }
+
+    /// A page-cache miss; `evicted` when the fill displaced a live page.
+    #[inline]
+    pub fn cache_miss(&self, evicted: bool) {
+        self.page_cache_misses.inc();
+        if evicted {
+            self.page_cache_evictions.inc();
+        }
+    }
+
+    /// One positioned file read.
+    #[inline]
+    pub fn file_read(&self) {
+        self.file_reads.inc();
+    }
+
+    /// One positioned file write.
+    #[inline]
+    pub fn file_write(&self) {
+        self.file_writes.inc();
+    }
+
+    /// Copies the counters out.
+    pub fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            words_read: self.words_read.get(),
+            words_written: self.words_written.get(),
+            page_cache_hits: self.page_cache_hits.get(),
+            page_cache_misses: self.page_cache_misses.get(),
+            page_cache_evictions: self.page_cache_evictions.get(),
+            file_reads: self.file_reads.get(),
+            file_writes: self.file_writes.get(),
+        }
+    }
+}
+
+#[cfg(not(feature = "telemetry-off"))]
+impl Default for StoreMetrics {
+    fn default() -> StoreMetrics {
+        StoreMetrics::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live metrics — `telemetry-off` stubs
+// ---------------------------------------------------------------------
+
+/// Zero-sized stand-in for the host-clock mark: `now()` reads nothing.
+#[cfg(feature = "telemetry-off")]
+#[derive(Clone, Copy, Debug)]
+pub struct Stamp;
+
+#[cfg(feature = "telemetry-off")]
+impl Stamp {
+    /// A token; no clock is read.
+    #[inline(always)]
+    pub fn now() -> Stamp {
+        Stamp
+    }
+}
+
+/// No-op twin of the live metrics: every record call compiles away and
+/// snapshots come back empty.
+#[cfg(feature = "telemetry-off")]
+#[derive(Debug, Default)]
+pub struct MemMetrics;
+
+#[cfg(feature = "telemetry-off")]
+impl MemMetrics {
+    /// Builds the stub (arguments ignored).
+    pub fn new(_lock_shards: usize, _pages: u64) -> MemMetrics {
+        MemMetrics
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn lock_wait(&self, _shard: usize, _from: Stamp, _to: Stamp) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn lock_hold(&self, _shard: usize, _from: Stamp) {}
+    /// Always false: no probe ever fires.
+    #[inline(always)]
+    pub fn sample(&self) -> bool {
+        false
+    }
+    /// No-op.
+    #[inline(always)]
+    pub fn op_between(&self, _op: MemOp, _from: Stamp, _to: Stamp) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn op_duration(&self, _op: MemOp, _d: Duration) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn stage_between(&self, _op: MemOp, _stage: MemStage, _from: Stamp, _to: Stamp) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn stage_duration(&self, _op: MemOp, _stage: MemStage, _d: Duration) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn note_read_batch(&self, _blocks: u64) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn note_write_batch(&self, _blocks: u64) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn integrity_error(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn page_roll(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn counterless_read(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn counterless_write(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn observe_ciphertext_write(&self, _page: u64) {}
+    /// Always zero.
+    pub fn observed_writes(&self, _page: u64) -> u64 {
+        0
+    }
+    /// No-op.
+    pub fn rekey_begin(&self, _pages: u64) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn rekey_page_done(&self) {}
+    /// No-op.
+    pub fn rekey_end(&self, _ok: bool) {}
+
+    /// An empty snapshot.
+    pub fn snapshot(&self, _store: Option<&StoreMetrics>) -> MemMetricsSnapshot {
+        MemMetricsSnapshot::empty(0)
+    }
+
+    /// No samples.
+    pub fn prom_samples(&self, _store: Option<&StoreMetrics>) -> Vec<Sample> {
+        Vec::new()
+    }
+}
+
+/// No-op twin of the backend counters.
+#[cfg(feature = "telemetry-off")]
+#[derive(Debug, Default)]
+pub struct StoreMetrics;
+
+#[cfg(feature = "telemetry-off")]
+impl StoreMetrics {
+    /// Builds the stub.
+    pub fn new() -> StoreMetrics {
+        StoreMetrics
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn word_read(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn word_written(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn cache_hit(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn cache_miss(&self, _evicted: bool) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn file_read(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn file_write(&self) {}
+
+    /// Always-zero stats.
+    pub fn snapshot(&self) -> StoreStats {
+        StoreStats::default()
+    }
+}
+
+#[cfg(all(test, not(feature = "telemetry-off")))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_and_stage_histograms_split_by_class() {
+        let m = MemMetrics::new(4, 8);
+        m.op_duration(MemOp::Read, Duration::from_nanos(100));
+        m.op_duration(MemOp::Write, Duration::from_nanos(200));
+        m.stage_duration(MemOp::Read, MemStage::MacVerify, Duration::from_nanos(50));
+        let snap = m.snapshot(None);
+        assert_eq!(snap.op(MemOp::Read).latency.count(), 1);
+        assert_eq!(snap.op(MemOp::Write).latency.count(), 1);
+        assert_eq!(snap.op(MemOp::Batch).latency.count(), 0);
+        assert_eq!(snap.op(MemOp::Read).stages[MemStage::MacVerify as usize].count(), 1);
+        assert_eq!(snap.op(MemOp::Write).stages[MemStage::MacVerify as usize].count(), 0);
+    }
+
+    #[test]
+    fn observation_counters_track_per_page_and_max() {
+        let m = MemMetrics::new(2, 4);
+        for _ in 0..3 {
+            m.observe_ciphertext_write(1);
+        }
+        m.observe_ciphertext_write(3);
+        let snap = m.snapshot(None);
+        assert_eq!(snap.observed_writes_total, 4);
+        assert_eq!(snap.observed_writes_max, 3);
+        assert_eq!(snap.observed_writes_max_page, 1);
+        assert_eq!(m.observed_writes(1), 3);
+        assert_eq!(m.observed_writes(3), 1);
+        // Out-of-range pages are counted in the total only.
+        m.observe_ciphertext_write(99);
+        assert_eq!(m.snapshot(None).observed_writes_total, 5);
+    }
+
+    #[test]
+    fn rekey_gauges_progress_and_retire_keys() {
+        let m = MemMetrics::new(2, 4);
+        m.rekey_begin(4);
+        let snap = m.snapshot(None);
+        assert!(snap.rekey.in_progress);
+        assert_eq!(snap.rekey.pages_total, 4);
+        assert_eq!(snap.rekey.pages_done, 0);
+        for _ in 0..4 {
+            m.rekey_page_done();
+        }
+        m.rekey_end(true);
+        let snap = m.snapshot(None);
+        assert!(!snap.rekey.in_progress);
+        assert_eq!(snap.rekey.pages_done, 4);
+        assert_eq!(snap.rekey.sweeps, 1);
+        // A failed sweep clears in_progress without retiring the key.
+        m.rekey_begin(4);
+        m.rekey_end(false);
+        let snap = m.snapshot(None);
+        assert!(!snap.rekey.in_progress);
+        assert_eq!(snap.rekey.sweeps, 1);
+    }
+
+    #[test]
+    fn snapshot_delta_brackets_traffic() {
+        let m = MemMetrics::new(2, 4);
+        m.note_read_batch(10);
+        let base = m.snapshot(None);
+        m.note_read_batch(5);
+        m.op_duration(MemOp::Read, Duration::from_nanos(100));
+        let delta = m.snapshot(None).delta_since(&base);
+        assert_eq!(delta.blocks_read, 5);
+        assert_eq!(delta.batch_reads, 1);
+        assert_eq!(delta.op(MemOp::Read).latency.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_json_has_pipeline_keys() {
+        let m = MemMetrics::new(2, 4);
+        m.op_duration(MemOp::Batch, Duration::from_nanos(300));
+        let json = m.snapshot(None).to_json().to_pretty();
+        for key in [
+            "\"lock_wait\"",
+            "\"lock_hold\"",
+            "\"pages_done\"",
+            "\"pages_total\"",
+            "\"page_cache_hit_rate\"",
+            "\"ciphertext_writes_total\"",
+            "\"p99_ns\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let parsed = clme_types::json::parse(&json).expect("snapshot json parses");
+        assert!(parsed.get("rekey").is_some());
+    }
+
+    #[test]
+    fn prom_samples_render_with_store() {
+        let m = MemMetrics::new(2, 4);
+        let s = StoreMetrics::new();
+        s.cache_hit();
+        s.cache_miss(true);
+        m.note_write_batch(3);
+        let text = clme_obs::prom::render(&m.prom_samples(Some(&s)));
+        assert!(text.contains("clme_mem_blocks_written_total 3\n"), "{text}");
+        assert!(text.contains("clme_store_page_cache_hits_total 1\n"));
+        assert!(text.contains("clme_store_page_cache_evictions_total 1\n"));
+        assert!(text.contains("# TYPE clme_mem_lock_wait_ps histogram"));
+        assert!(text.contains("clme_mem_rekey_in_progress 0\n"));
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::error::MemError;
 use crate::geometry::Geometry;
+use crate::metrics::StoreMetrics;
 use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, PoisonError, RwLock};
@@ -29,6 +30,13 @@ pub trait StoreBackend: Send + Sync {
 
     /// Writes one word.
     fn write_word(&self, index: u64, word: &StoredWord) -> Result<(), MemError>;
+
+    /// The backend's telemetry counters, when it keeps any. The
+    /// encryption layer folds these into its metrics snapshot; the
+    /// default is for backends with no instrumentation.
+    fn store_metrics(&self) -> Option<&StoreMetrics> {
+        None
+    }
 }
 
 fn check_bounds(index: u64, limit: u64) -> Result<(), MemError> {
@@ -51,6 +59,7 @@ const VEC_SEGMENTS: usize = 16;
 pub struct VecBackend {
     segments: Vec<RwLock<Vec<StoredWord>>>,
     words: u64,
+    metrics: StoreMetrics,
 }
 
 impl VecBackend {
@@ -62,7 +71,11 @@ impl VecBackend {
             let len = (words + VEC_SEGMENTS as u64 - 1 - s) / VEC_SEGMENTS as u64;
             segments.push(RwLock::new(vec![[0u8; WORD_BYTES]; len as usize]));
         }
-        VecBackend { segments, words }
+        VecBackend {
+            segments,
+            words,
+            metrics: StoreMetrics::new(),
+        }
     }
 
     /// A zeroed store sized for `data_blocks` blocks plus all the
@@ -86,6 +99,7 @@ impl StoreBackend for VecBackend {
 
     fn read_word(&self, index: u64) -> Result<StoredWord, MemError> {
         check_bounds(index, self.words)?;
+        self.metrics.word_read();
         let (seg, pos) = self.locate(index);
         let guard = self.segments[seg]
             .read()
@@ -95,12 +109,17 @@ impl StoreBackend for VecBackend {
 
     fn write_word(&self, index: u64, word: &StoredWord) -> Result<(), MemError> {
         check_bounds(index, self.words)?;
+        self.metrics.word_written();
         let (seg, pos) = self.locate(index);
         let mut guard = self.segments[seg]
             .write()
             .unwrap_or_else(PoisonError::into_inner);
         guard[pos] = *word;
         Ok(())
+    }
+
+    fn store_metrics(&self) -> Option<&StoreMetrics> {
+        Some(&self.metrics)
     }
 }
 
@@ -130,6 +149,7 @@ pub struct FileBackend {
     path: PathBuf,
     words: u64,
     cache: Vec<Mutex<Option<CachedPage>>>,
+    metrics: StoreMetrics,
 }
 
 impl FileBackend {
@@ -176,6 +196,7 @@ impl FileBackend {
             path,
             words,
             cache,
+            metrics: StoreMetrics::new(),
         }
     }
 
@@ -230,6 +251,7 @@ impl StoreBackend for FileBackend {
 
     fn read_word(&self, index: u64) -> Result<StoredWord, MemError> {
         check_bounds(index, self.words)?;
+        self.metrics.word_read();
         let page = index / FILE_PAGE_WORDS;
         let within = (index % FILE_PAGE_WORDS) as usize * WORD_BYTES;
         let slot = (page % FILE_CACHE_SLOTS as u64) as usize;
@@ -237,9 +259,14 @@ impl StoreBackend for FileBackend {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let cached = match guard.as_ref() {
-            Some(c) if c.page == page => guard.as_ref().unwrap(),
-            _ => {
+            Some(c) if c.page == page => {
+                self.metrics.cache_hit();
+                guard.as_ref().unwrap()
+            }
+            resident => {
+                self.metrics.cache_miss(resident.is_some());
                 let mut bytes = vec![0u8; self.page_len(page)];
+                self.metrics.file_read();
                 self.read_at(&mut bytes, page * FILE_PAGE_WORDS * WORD_BYTES as u64)?;
                 *guard = Some(CachedPage { page, bytes });
                 guard.as_ref().unwrap()
@@ -252,6 +279,7 @@ impl StoreBackend for FileBackend {
 
     fn write_word(&self, index: u64, word: &StoredWord) -> Result<(), MemError> {
         check_bounds(index, self.words)?;
+        self.metrics.word_written();
         let page = index / FILE_PAGE_WORDS;
         let within = (index % FILE_PAGE_WORDS) as usize * WORD_BYTES;
         let slot = (page % FILE_CACHE_SLOTS as u64) as usize;
@@ -260,6 +288,7 @@ impl StoreBackend for FileBackend {
         let mut guard = self.cache[slot]
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        self.metrics.file_write();
         self.write_at(word, index * WORD_BYTES as u64)?;
         if let Some(cached) = guard.as_mut() {
             if cached.page == page {
@@ -267,6 +296,10 @@ impl StoreBackend for FileBackend {
             }
         }
         Ok(())
+    }
+
+    fn store_metrics(&self) -> Option<&StoreMetrics> {
+        Some(&self.metrics)
     }
 }
 
@@ -330,6 +363,42 @@ mod tests {
         let store = FileBackend::open(&path).unwrap();
         assert_eq!(store.read_word(3).unwrap(), word);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn file_backend_counts_cache_hits_misses_and_evictions() {
+        let path = temp_path("counters");
+        // Enough pages that page FILE_CACHE_SLOTS maps back to slot 0.
+        let store =
+            FileBackend::create(&path, FILE_PAGE_WORDS * (FILE_CACHE_SLOTS as u64 + 1)).unwrap();
+        store.read_word(0).unwrap(); // cold miss, no eviction
+        store.read_word(1).unwrap(); // hit
+        store.read_word(FILE_PAGE_WORDS * FILE_CACHE_SLOTS as u64).unwrap(); // conflict miss
+        store.write_word(7, &[0x11u8; WORD_BYTES]).unwrap();
+        let stats = store.store_metrics().unwrap().snapshot();
+        assert_eq!(stats.page_cache_hits, 1);
+        assert_eq!(stats.page_cache_misses, 2);
+        assert_eq!(stats.page_cache_evictions, 1);
+        assert_eq!(stats.file_reads, 2);
+        assert_eq!(stats.file_writes, 1);
+        assert_eq!(stats.words_read, 3);
+        assert_eq!(stats.words_written, 1);
+        assert!((stats.page_cache_hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn vec_backend_counts_words() {
+        let store = VecBackend::new(8);
+        store.write_word(0, &[1u8; WORD_BYTES]).unwrap();
+        store.read_word(0).unwrap();
+        store.read_word(1).unwrap();
+        let stats = store.store_metrics().unwrap().snapshot();
+        assert_eq!(stats.words_written, 1);
+        assert_eq!(stats.words_read, 2);
+        assert_eq!(stats.file_reads, 0);
     }
 
     #[test]

@@ -140,6 +140,21 @@ impl Log2Histogram {
         *self = Log2Histogram::new();
     }
 
+    /// Builds a histogram from raw bucket counts plus the exact sum and
+    /// maximum. The total is recomputed from `counts`. This is the merge
+    /// target for the atomic sharded histogram in [`crate::registry`],
+    /// which accumulates the same representation across threads and folds
+    /// it back into the single-threaded type for reporting.
+    pub fn from_parts(counts: [u64; LOG2_BUCKETS], sum_ps: u128, max_ps: u64) -> Log2Histogram {
+        let total = counts.iter().sum();
+        Log2Histogram {
+            counts,
+            total,
+            sum_ps,
+            max_ps,
+        }
+    }
+
     /// The histogram of samples recorded since `baseline` was cloned off
     /// this histogram: per-bucket count differences plus exact total/sum
     /// differences. Used by the epoch sampler to turn a cumulative

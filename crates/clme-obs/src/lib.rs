@@ -27,6 +27,8 @@
 pub mod chrome;
 pub mod counters;
 pub mod hist;
+pub mod prom;
+pub mod registry;
 pub mod ring;
 pub mod series;
 pub mod sink;
@@ -35,6 +37,10 @@ pub mod span;
 pub use chrome::{chrome_trace_json, span_flow_json};
 pub use counters::{Component, EventCounters, EventKind};
 pub use hist::Log2Histogram;
+pub use registry::{
+    Counter, Gauge, MetricKind, MetricsError, Registry, Sample, SampleValue, ShardedHistogram,
+    HIST_SHARDS,
+};
 pub use ring::{TraceEvent, TraceRing};
 pub use series::{
     EpochSample, EpochSeries, SeriesRecorder, StageSample, DEFAULT_EPOCH_CYCLES,
