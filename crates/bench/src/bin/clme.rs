@@ -83,7 +83,8 @@
 
 use clme_core::engine::EngineKind;
 use clme_mem::{
-    EncryptionLayer, FileBackend, LayerOptions, MemOp, MemoryAdt, StoreBackend, VecBackend,
+    write_atomic, DumpBundle, DumpContext, EncryptionLayer, FileBackend, LayerOptions, MemOp,
+    MemoryAdt, StoreBackend, VecBackend,
 };
 use clme_obs::{span_flow_json, Blame, EpochSeries, EventKind, Log2Histogram, SpanTracer, Stage};
 use clme_sim::matrix::{all_engines, RunMatrix};
@@ -1037,7 +1038,7 @@ fn run_perf_command(args: &[String]) -> i32 {
         .map(|d| d.as_secs_f64())
         .unwrap_or(0.0);
     let artifact = clme_bench::perf::perf_json(&measurement, stages, history, unix_time);
-    if let Err(err) = std::fs::write(&args.out, artifact) {
+    if let Err(err) = write_atomic(&args.out, &artifact) {
         eprintln!("cannot write {}: {err}", args.out.display());
         return 1;
     }
@@ -1369,15 +1370,22 @@ struct MemArgs {
     epoch_ms: u64,
     reps: usize,
     check_stats: Option<PathBuf>,
+    tamper: Option<String>,
+    dump: Option<PathBuf>,
+    dump_on_exit: bool,
+    serve: Option<String>,
+    serve_requests: usize,
 }
 
 fn mem_usage() -> ! {
     eprintln!(
         "usage: clme mem [--backend vec|file] [--path PATH] [--blocks N] [--ops N]\n\
          \x20            [--seed HEX|DEC] [--saturation N] [--smoke | --bench |\n\
-         \x20            --critpath sweep|zipf] [--samples N] [--json PATH] [--trace PATH]\n\
-         \x20            [--reps N] [--watch] [--epoch-ms MS] [--stats]\n\
-         \x20            [--stats-json PATH] [--prom PATH] [--check-stats PATH]\n\
+         \x20            --critpath sweep|zipf | --tamper REGION] [--samples N]\n\
+         \x20            [--json PATH] [--trace PATH] [--reps N] [--watch]\n\
+         \x20            [--epoch-ms MS] [--stats] [--stats-json PATH] [--prom PATH]\n\
+         \x20            [--check-stats PATH] [--dump PATH] [--dump-on-exit]\n\
+         \x20            [--serve ADDR] [--serve-requests N]\n\
          \n\
          Drives the clme-mem library — the counter-light scheme applied to a\n\
          real backing store instead of the simulator. The default run is a\n\
@@ -1406,11 +1414,23 @@ fn mem_usage() -> ! {
          --prom      write the snapshot in Prometheus text exposition format\n\
          --check-stats parse a --stats-json artifact and verify the\n\
          \x20        telemetry pipeline keys are present (CI smoke)\n\
+         --tamper    flip one stored byte in REGION (data|mac|parity|counter|\n\
+         \x20        tree) after a deterministic write phase; the provoked\n\
+         \x20        IntegrityError writes a .clmedump post-mortem bundle\n\
+         --dump      where the .clmedump bundle goes (with --tamper or\n\
+         \x20        --dump-on-exit; default mem-tamper-REGION.clmedump)\n\
+         --dump-on-exit arm the flight recorder and write a bundle when the\n\
+         \x20        run finishes, even without a fault\n\
+         --serve     after the run, keep serving GET /metrics (Prometheus\n\
+         \x20        text) and /healthz over HTTP on ADDR (e.g. 127.0.0.1:9464)\n\
+         --serve-requests stop serving after N requests (0 = forever)\n\
          \n\
          example: clme mem --smoke --blocks 256\n\
          example: clme mem --bench --backend file --blocks 8192 --stats\n\
          example: clme mem --bench --stats-json BENCH_mem.json --reps 3\n\
-         example: clme mem --critpath zipf --json mem_blame.json"
+         example: clme mem --critpath zipf --json mem_blame.json\n\
+         example: clme mem --tamper mac --blocks 256 --dump mac.clmedump\n\
+         example: clme mem --serve 127.0.0.1:9464 --blocks 256"
     );
     std::process::exit(2)
 }
@@ -1436,6 +1456,11 @@ fn parse_mem_args(args: &[String]) -> MemArgs {
         epoch_ms: 250,
         reps: 1,
         check_stats: None,
+        tamper: None,
+        dump: None,
+        dump_on_exit: false,
+        serve: None,
+        serve_requests: 0,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -1510,6 +1535,21 @@ fn parse_mem_args(args: &[String]) -> MemArgs {
             "--check-stats" => {
                 parsed.check_stats = Some(PathBuf::from(value("--check-stats")))
             }
+            "--tamper" => {
+                let region = value("--tamper");
+                if !matches!(region.as_str(), "data" | "mac" | "parity" | "counter" | "tree") {
+                    eprintln!("--tamper must be data, mac, parity, counter, or tree");
+                    mem_usage()
+                }
+                parsed.tamper = Some(region);
+            }
+            "--dump" => parsed.dump = Some(PathBuf::from(value("--dump"))),
+            "--dump-on-exit" => parsed.dump_on_exit = true,
+            "--serve" => parsed.serve = Some(value("--serve")),
+            "--serve-requests" => {
+                parsed.serve_requests =
+                    value("--serve-requests").parse().unwrap_or_else(|_| mem_usage())
+            }
             "--help" | "-h" => mem_usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -1517,8 +1557,13 @@ fn parse_mem_args(args: &[String]) -> MemArgs {
             }
         }
     }
-    if parsed.smoke as u8 + parsed.bench as u8 + parsed.critpath.is_some() as u8 > 1 {
-        eprintln!("--smoke, --bench, and --critpath are mutually exclusive");
+    if parsed.smoke as u8
+        + parsed.bench as u8
+        + parsed.critpath.is_some() as u8
+        + parsed.tamper.is_some() as u8
+        > 1
+    {
+        eprintln!("--smoke, --bench, --critpath, and --tamper are mutually exclusive");
         mem_usage()
     }
     parsed
@@ -1599,6 +1644,11 @@ fn run_mem_critpath_label(args: &CritpathArgs, rest: &str) -> i32 {
         epoch_ms: 250,
         reps: 1,
         check_stats: None,
+        tamper: None,
+        dump: None,
+        dump_on_exit: false,
+        serve: None,
+        serve_requests: 0,
     };
     run_mem_with_args(&mem_args)
 }
@@ -1652,8 +1702,13 @@ fn run_mem_with_args(args: &MemArgs) -> i32 {
 }
 
 fn mem_dispatch<B: StoreBackend>(args: &MemArgs, layer: &EncryptionLayer<B>) -> i32 {
+    if args.dump_on_exit && args.tamper.is_none() {
+        layer.arm_dump(mem_dump_context(args, "run", JsonValue::Null));
+    }
     let mut bench_report = None;
-    let code = if let Some(pattern) = &args.critpath {
+    let code = if let Some(region) = &args.tamper {
+        mem_tamper(args, layer, region)
+    } else if let Some(pattern) = &args.critpath {
         mem_critpath(args, layer, pattern)
     } else if args.bench {
         match mem_bench(args, layer) {
@@ -1672,7 +1727,254 @@ fn mem_dispatch<B: StoreBackend>(args: &MemArgs, layer: &EncryptionLayer<B>) -> 
     if code != 0 {
         return code;
     }
-    mem_emit_stats(args, layer, bench_report.as_ref())
+    if args.dump_on_exit && args.tamper.is_none() {
+        match layer.dump_now() {
+            Ok(Some(path)) => eprintln!("wrote exit dump to {}", path.display()),
+            // A fault mid-run already consumed the armed context; the
+            // bundle on disk captures that first fault, not the exit.
+            Ok(None) => {
+                if let Some(path) = layer.last_dump() {
+                    eprintln!("dump already written at the first fault: {}", path.display());
+                }
+            }
+            Err(err) => {
+                eprintln!("cannot write exit dump: {err}");
+                return 1;
+            }
+        }
+    }
+    let code = mem_emit_stats(args, layer, bench_report.as_ref());
+    if code != 0 {
+        return code;
+    }
+    match &args.serve {
+        Some(addr) => mem_serve(addr, layer, args.serve_requests),
+        None => 0,
+    }
+}
+
+/// The dump destination and workload description a run arms itself
+/// with. `mode` tags what produced the captured window; extras are
+/// spliced into the workload object for the replayer.
+fn mem_dump_context(args: &MemArgs, mode: &str, extras: JsonValue) -> DumpContext {
+    let path = args.dump.clone().unwrap_or_else(|| {
+        PathBuf::from(match &args.tamper {
+            Some(region) => format!("mem-tamper-{region}.clmedump"),
+            None => "mem-exit.clmedump".to_string(),
+        })
+    });
+    let mut workload = vec![
+        ("mode".into(), JsonValue::Str(mode.to_string())),
+        ("backend".into(), JsonValue::Str(args.backend.clone())),
+        ("blocks".into(), JsonValue::Num(args.blocks as f64)),
+        ("ops".into(), JsonValue::Num(args.ops.max(64) as f64)),
+    ];
+    if let JsonValue::Obj(extra) = extras {
+        workload.extend(extra);
+    }
+    DumpContext {
+        path,
+        seed: args.seed,
+        workload: JsonValue::Obj(workload),
+    }
+}
+
+/// The distinct addresses the populate stream will touch, without
+/// writing anything — lets `--tamper` pick its victim and arm the dump
+/// *before* the captured op window starts, so the bundle's counts cover
+/// the whole workload.
+fn mem_tamper_addrs(seed: u64, blocks: u64, ops: usize) -> Vec<u64> {
+    let mut rng = SplitMix64::new(SplitMix64::new(seed).derive(b"mem/demo"));
+    let mut written = std::collections::BTreeSet::new();
+    for _ in 0..ops.max(64) {
+        written.insert(rng.below(blocks));
+        let _ = mem_pattern_block(&mut rng);
+    }
+    written.into_iter().collect()
+}
+
+/// The demo's deterministic phase-1 write stream: `ops` random
+/// (address, pattern) pairs from the `mem/demo` seed stream, written in
+/// batches of 64. Tamper capture and `postmortem --replay` both run
+/// exactly this, so a bundle's recorded seed pins the op window.
+/// Returns the sorted distinct addresses written.
+fn mem_tamper_populate<B: StoreBackend>(
+    layer: &EncryptionLayer<B>,
+    seed: u64,
+    ops: usize,
+) -> Result<Vec<u64>, String> {
+    let mut rng = SplitMix64::new(SplitMix64::new(seed).derive(b"mem/demo"));
+    let blocks = layer.geometry().data_blocks();
+    let mut written = std::collections::BTreeSet::new();
+    let mut pending: Vec<(u64, clme_mem::Block)> = Vec::with_capacity(64);
+    for i in 0..ops.max(64) {
+        pending.push((rng.below(blocks), mem_pattern_block(&mut rng)));
+        if pending.len() == 64 || i + 1 == ops.max(64) {
+            layer
+                .batch_write(&pending)
+                .map_err(|e| format!("populate batch_write failed: {e}"))?;
+            written.extend(pending.drain(..).map(|(addr, _)| addr));
+        }
+    }
+    Ok(written.into_iter().collect())
+}
+
+/// Flips `mask` into one stored byte, then reads the probe address; a
+/// healthy layer must answer with an [`clme_mem::IntegrityError`] (which
+/// is what triggers the armed dump).
+fn mem_flip_and_probe<B: StoreBackend>(
+    layer: &EncryptionLayer<B>,
+    word_index: u64,
+    byte: usize,
+    mask: u8,
+    probe: u64,
+) -> Result<clme_mem::IntegrityError, String> {
+    let mut word = layer
+        .backend()
+        .read_word(word_index)
+        .map_err(|e| format!("cannot read word {word_index}: {e}"))?;
+    if byte >= word.len() {
+        return Err(format!("byte offset {byte} outside the stored word"));
+    }
+    word[byte] ^= mask;
+    layer
+        .backend()
+        .write_word(word_index, &word)
+        .map_err(|e| format!("cannot write word {word_index}: {e}"))?;
+    match layer.read_block(probe) {
+        Err(err) => err
+            .integrity()
+            .copied()
+            .ok_or_else(|| format!("tamper raised a non-integrity error: {err}")),
+        Ok(_) => Err("tamper went UNDETECTED".into()),
+    }
+}
+
+/// `--tamper REGION`: run the deterministic write phase, flip one byte
+/// in the chosen stored-word region, and let the armed layer write the
+/// `.clmedump` bundle the moment the probe read fails. The bundle's
+/// workload object records the exact flip site so `clme postmortem
+/// --replay` can re-run this flow and reproduce the error class.
+fn mem_tamper<B: StoreBackend>(args: &MemArgs, layer: &EncryptionLayer<B>, region: &str) -> i32 {
+    use clme_mem::Region;
+
+    let geo = layer.geometry().clone();
+    let addrs = mem_tamper_addrs(args.seed, geo.data_blocks(), args.ops.max(64));
+    // Same flip sites as the demo's tamper matrix (phase 2).
+    let victim = addrs[addrs.len() / 2];
+    let page = geo.page_of(victim);
+    let top = geo.levels() - 1;
+    let (word_index, byte, probe) = match region {
+        "data" => (geo.data_word(victim), 5usize, victim),
+        "mac" => (geo.data_word(victim), 64 + 2, victim),
+        "parity" => (geo.data_word(victim), 72 + 1, victim),
+        "counter" => (
+            geo.counter_word(page),
+            9,
+            geo.probe_addr(Region::CounterBlock { page }),
+        ),
+        _ => (
+            geo.node_word(top, 0),
+            17,
+            geo.probe_addr(Region::TreeNode {
+                level: top as u8,
+                group: 0,
+            }),
+        ),
+    };
+    let extras = JsonValue::Obj(vec![
+        ("region".into(), JsonValue::Str(region.to_string())),
+        ("word_index".into(), JsonValue::Num(word_index as f64)),
+        ("byte".into(), JsonValue::Num(byte as f64)),
+        ("mask".into(), JsonValue::Num(1.0)),
+        ("probe_addr".into(), JsonValue::Num(probe as f64)),
+    ]);
+    layer.arm_dump(mem_dump_context(args, "tamper", extras));
+    if let Err(err) = mem_tamper_populate(layer, args.seed, args.ops.max(64)) {
+        eprintln!("{err}");
+        return 1;
+    }
+    match mem_flip_and_probe(layer, word_index, byte, 0x01, probe) {
+        Ok(err) => match layer.last_dump() {
+            Some(path) => {
+                println!(
+                    "tamper {region}: caught ({err}); post-mortem bundle at {}",
+                    path.display()
+                );
+                0
+            }
+            None => {
+                eprintln!("tamper {region}: caught ({err}), but no dump was written");
+                1
+            }
+        },
+        Err(msg) => {
+            eprintln!("tamper {region}: {msg}");
+            1
+        }
+    }
+}
+
+/// `--serve ADDR`: a minimal std-only HTTP responder. `GET /metrics`
+/// answers with the layer's Prometheus text exposition, `GET /healthz`
+/// with `ok`; anything else is a 404. One request per connection, no
+/// keep-alive — enough for a scraper, zero dependencies.
+fn mem_serve<B: StoreBackend>(addr: &str, layer: &EncryptionLayer<B>, max_requests: usize) -> i32 {
+    use std::io::{BufRead, BufReader, Write};
+
+    let listener = match std::net::TcpListener::bind(addr) {
+        Ok(listener) => listener,
+        Err(err) => {
+            eprintln!("cannot bind {addr}: {err}");
+            return 1;
+        }
+    };
+    let local = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| addr.to_string());
+    eprintln!("serving /metrics and /healthz on http://{local}");
+    let mut served = 0usize;
+    for stream in listener.incoming() {
+        let mut stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        let request_line = {
+            let mut reader = BufReader::new(&mut stream);
+            let mut line = String::new();
+            if reader.read_line(&mut line).is_err() {
+                continue;
+            }
+            // Drain the headers so well-behaved clients see a clean close.
+            let mut header = String::new();
+            while let Ok(n) = reader.read_line(&mut header) {
+                if n == 0 || header.trim().is_empty() {
+                    break;
+                }
+                header.clear();
+            }
+            line
+        };
+        let target = request_line.split_whitespace().nth(1).unwrap_or("");
+        let (status, content_type, body) = match target {
+            "/metrics" => ("200 OK", "text/plain; version=0.0.4", layer.metrics_prom()),
+            "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        };
+        let response = format!(
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = stream.write_all(response.as_bytes());
+        served += 1;
+        if max_requests != 0 && served >= max_requests {
+            eprintln!("served {served} requests, stopping");
+            break;
+        }
+    }
+    0
 }
 
 /// Write/read against a plaintext model, one tamper per stored-word
@@ -2260,7 +2562,7 @@ fn mem_emit_stats<B: StoreBackend>(
             .map(|text| mem_extract_history(&text))
             .unwrap_or_default();
         let artifact = mem_stats_artifact(args, &snap, bench, history);
-        if let Err(err) = std::fs::write(path, artifact) {
+        if let Err(err) = write_atomic(path, &artifact) {
             eprintln!("cannot write {}: {err}", path.display());
             return 1;
         }
@@ -2729,6 +3031,307 @@ fn run_series_matrix_command(args: &[String]) -> i32 {
     0
 }
 
+// =====================================================================
+// postmortem — render and replay .clmedump bundles
+// =====================================================================
+
+struct PostmortemArgs {
+    file: PathBuf,
+    replay: bool,
+    tail: usize,
+}
+
+fn postmortem_usage() -> ! {
+    eprintln!(
+        "usage: clme postmortem FILE.clmedump [--replay] [--tail N]\n\
+         \n\
+         Renders a post-mortem bundle written by an armed clme-mem run\n\
+         (clme mem --tamper REGION, --dump-on-exit, or any embedder that\n\
+         armed the layer): the capture window, the triggering\n\
+         IntegrityError, a blame summary over the flight-recorder events,\n\
+         a suspect-page ranking, and the event timeline.\n\
+         \n\
+         --replay    rebuild the layer from the bundle's recorded config\n\
+         \x20        and seed, re-run the captured op window, re-apply the\n\
+         \x20        recorded byte flip, and verify the same error class\n\
+         \x20        reproduces (nonzero exit when it does not)\n\
+         --tail      timeline rows to print (default 24, 0 = all)\n\
+         \n\
+         example: clme mem --tamper mac --dump mac.clmedump\n\
+         \x20        clme postmortem mac.clmedump --replay"
+    );
+    std::process::exit(2)
+}
+
+fn parse_postmortem_args(args: &[String]) -> PostmortemArgs {
+    let mut file = None;
+    let mut replay = false;
+    let mut tail = 24usize;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--replay" => replay = true,
+            "--tail" => {
+                tail = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| postmortem_usage())
+            }
+            "--help" | "-h" => postmortem_usage(),
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(PathBuf::from(other))
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                postmortem_usage()
+            }
+        }
+    }
+    PostmortemArgs {
+        file: file.unwrap_or_else(|| postmortem_usage()),
+        replay,
+        tail,
+    }
+}
+
+fn run_postmortem_command(args: &[String]) -> i32 {
+    let args = parse_postmortem_args(args);
+    let text = match std::fs::read_to_string(&args.file) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {}: {err}", args.file.display());
+            return 1;
+        }
+    };
+    let bundle = match DumpBundle::parse(&text) {
+        Ok(bundle) => bundle,
+        Err(err) => {
+            eprintln!("{} is not a dump bundle: {err}", args.file.display());
+            return 1;
+        }
+    };
+    postmortem_render(&args.file, &bundle, args.tail);
+    if args.replay {
+        postmortem_replay(&bundle)
+    } else {
+        0
+    }
+}
+
+/// Timeline, blame summary, and suspect-page ranking for one bundle.
+fn postmortem_render(path: &Path, bundle: &DumpBundle, tail: usize) {
+    println!("post-mortem bundle {}", path.display());
+    println!("  trigger   {}", bundle.trigger);
+    println!(
+        "  layer     {} backend, {} blocks over {} pages, {}-level tree, {} shards",
+        bundle.backend, bundle.blocks, bundle.pages, bundle.levels, bundle.shards
+    );
+    println!("  seed      {:#018x}", bundle.seed);
+    println!(
+        "  window    {} batches ({} reads + {} writes, {} blocks written, {} blocks read, {} page rolls)",
+        bundle.op_index,
+        bundle.counts.batch_reads,
+        bundle.counts.batch_writes,
+        bundle.counts.blocks_written,
+        bundle.counts.blocks_read,
+        bundle.counts.page_rolls,
+    );
+    match &bundle.error {
+        Some(err) => println!("  error     {err} [class {}]", err.class.name()),
+        None => println!("  error     none (clean-exit capture)"),
+    }
+
+    // Blame summary: how the retained window distributes across kinds.
+    let mut by_kind: Vec<(&str, usize)> = Vec::new();
+    for event in &bundle.events {
+        let name = clme_mem::FlightKind::from_code(event.kind)
+            .map(clme_mem::FlightKind::name)
+            .unwrap_or("unknown");
+        match by_kind.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, count)) => *count += 1,
+            None => by_kind.push((name, 1)),
+        }
+    }
+    by_kind.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    println!(
+        "\nblame summary ({} events retained, {} recorded, {} dropped):",
+        bundle.events.len(),
+        bundle.events_recorded,
+        bundle.events_dropped
+    );
+    for (name, count) in &by_kind {
+        println!("  {name:<16} {count:>7}");
+    }
+
+    // Suspect pages: weight the kinds that localise a fault. The error
+    // address itself (when in the data region) counts heaviest.
+    let mut scores: std::collections::BTreeMap<u64, (u64, u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    for event in &bundle.events {
+        let Some(kind) = clme_mem::FlightKind::from_code(event.kind) else {
+            continue;
+        };
+        use clme_mem::FlightKind as K;
+        let page = match kind {
+            K::IntegrityFail if event.a < bundle.blocks => {
+                event.a / clme_mem::PAGE_BLOCKS as u64
+            }
+            K::WritePage | K::PageRoll | K::WriteBurst => event.a,
+            _ => continue,
+        };
+        let slot = scores.entry(page).or_default();
+        match kind {
+            K::IntegrityFail => slot.0 += 1,
+            K::WriteBurst => slot.1 += 1,
+            K::PageRoll => slot.2 += 1,
+            _ => slot.3 += 1,
+        }
+    }
+    let mut ranked: Vec<(u64, (u64, u64, u64, u64))> = scores.into_iter().collect();
+    ranked.sort_by_key(|(page, (fails, bursts, rolls, writes))| {
+        (std::cmp::Reverse(fails * 1000 + bursts * 50 + rolls * 10 + writes), *page)
+    });
+    println!("\nsuspect pages (integrity failures, then write pressure):");
+    for (page, (fails, bursts, rolls, writes)) in ranked.iter().take(8) {
+        println!(
+            "  page {page:<8} fails {fails:<4} bursts {bursts:<4} rolls {rolls:<4} writes {writes}"
+        );
+    }
+    if ranked.is_empty() {
+        println!("  (no page-attributable events in the window)");
+    }
+
+    // Timeline tail: the newest events, oldest of the tail first.
+    let total = bundle.events.len();
+    let shown = if tail == 0 { total } else { tail.min(total) };
+    println!("\ntimeline (last {shown} of {total} retained events):");
+    println!("  {:>10}  {:<16} {:>12} {:>12}", "seq", "event", "a", "b");
+    for event in &bundle.events[total - shown..] {
+        let name = clme_mem::FlightKind::from_code(event.kind)
+            .map(clme_mem::FlightKind::name)
+            .unwrap_or("unknown");
+        println!(
+            "  {:>10}  {:<16} {:>12} {:>12}",
+            event.seq, name, event.a, event.b
+        );
+    }
+}
+
+/// `--replay`: rebuild the layer from the bundle's recorded geometry
+/// and seed, re-run the captured tamper workload, and check the same
+/// [`clme_mem::TamperClass`] comes back.
+fn postmortem_replay(bundle: &DumpBundle) -> i32 {
+    let mode = bundle.workload.get("mode").and_then(JsonValue::as_str);
+    if mode != Some("tamper") {
+        eprintln!(
+            "--replay needs a tamper bundle (workload.mode = \"tamper\", found {})",
+            mode.unwrap_or("nothing")
+        );
+        return 1;
+    }
+    let key = |name: &str| {
+        bundle
+            .workload
+            .get(name)
+            .and_then(JsonValue::as_f64)
+            .map(|f| f as u64)
+    };
+    let (Some(ops), Some(word_index), Some(byte), Some(mask), Some(probe)) = (
+        key("ops"),
+        key("word_index"),
+        key("byte"),
+        key("mask"),
+        key("probe_addr"),
+    ) else {
+        eprintln!("tamper bundle is missing replay keys (ops/word_index/byte/mask/probe_addr)");
+        return 1;
+    };
+    let Some(expected) = bundle.error else {
+        eprintln!("bundle records no IntegrityError to reproduce");
+        return 1;
+    };
+    match bundle.backend.as_str() {
+        "file" => {
+            let path = std::env::temp_dir()
+                .join(format!("clme-replay-{}.store", std::process::id()));
+            let backend = match FileBackend::create_for_blocks(&path, bundle.blocks) {
+                Ok(backend) => backend,
+                Err(err) => {
+                    eprintln!("cannot create replay store at {}: {err}", path.display());
+                    return 1;
+                }
+            };
+            let code = postmortem_replay_on(
+                bundle, backend, ops, word_index, byte, mask, probe, expected,
+            );
+            let _ = std::fs::remove_file(&path);
+            code
+        }
+        _ => postmortem_replay_on(
+            bundle,
+            VecBackend::for_blocks(bundle.blocks),
+            ops,
+            word_index,
+            byte,
+            mask,
+            probe,
+            expected,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn postmortem_replay_on<B: StoreBackend>(
+    bundle: &DumpBundle,
+    backend: B,
+    ops: u64,
+    word_index: u64,
+    byte: u64,
+    mask: u64,
+    probe: u64,
+    expected: clme_mem::IntegrityError,
+) -> i32 {
+    let master = mem_master_key(bundle.seed, b"mem/master");
+    let options = LayerOptions {
+        counter_saturation: bundle.saturation,
+        shards: bundle.shards.max(1) as usize,
+        ..LayerOptions::default()
+    };
+    let layer = match EncryptionLayer::with_options(backend, bundle.blocks, master, options) {
+        Ok(layer) => layer,
+        Err(err) => {
+            eprintln!("cannot rebuild the captured layer: {err}");
+            return 1;
+        }
+    };
+    if let Err(err) = mem_tamper_populate(&layer, bundle.seed, ops as usize) {
+        eprintln!("replay {err}");
+        return 1;
+    }
+    match mem_flip_and_probe(&layer, word_index, byte as usize, mask as u8, probe) {
+        Ok(err) if err.class == expected.class => {
+            println!(
+                "replay: reproduced class {} at address {:#x} — matches the capture",
+                err.class.name(),
+                err.addr
+            );
+            0
+        }
+        Ok(err) => {
+            eprintln!(
+                "replay: got class {} but the capture recorded {}",
+                err.class.name(),
+                expected.class.name()
+            );
+            1
+        }
+        Err(msg) => {
+            eprintln!("replay: {msg}");
+            1
+        }
+    }
+}
+
 fn main() {
     let all: Vec<String> = std::env::args().skip(1).collect();
     match all.first().map(String::as_str) {
@@ -2740,6 +3343,7 @@ fn main() {
         Some("critpath") => std::process::exit(run_critpath_command(&all[1..])),
         Some("series") => std::process::exit(run_series_matrix_command(&all[1..])),
         Some("mem") => std::process::exit(run_mem_command(&all[1..])),
+        Some("postmortem") => std::process::exit(run_postmortem_command(&all[1..])),
         _ => {}
     }
     let args = parse_args();

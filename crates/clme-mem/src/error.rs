@@ -25,6 +25,43 @@ pub enum TamperClass {
     },
 }
 
+impl TamperClass {
+    /// Stable identifier for dump bundles and metrics labels. Level is
+    /// carried separately by [`code`](Self::code); the name is the class
+    /// family only, so it never changes with geometry.
+    pub fn name(self) -> &'static str {
+        match self {
+            TamperClass::DataMac => "data-mac",
+            TamperClass::Meta => "meta",
+            TamperClass::CounterBlock => "counter-block",
+            TamperClass::TreeNode { .. } => "tree-node",
+        }
+    }
+
+    /// Stable numeric code for compact serialization (flight-recorder
+    /// events, `.clmedump` bundles): 0–2 for the flat classes, `3 +
+    /// level` for tree nodes. [`from_code`](Self::from_code) inverts it.
+    pub fn code(self) -> u16 {
+        match self {
+            TamperClass::DataMac => 0,
+            TamperClass::Meta => 1,
+            TamperClass::CounterBlock => 2,
+            TamperClass::TreeNode { level } => 3 + level as u16,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code). `None` for codes no class maps
+    /// to (tree levels above `u8::MAX` cannot be encoded).
+    pub fn from_code(code: u16) -> Option<TamperClass> {
+        match code {
+            0 => Some(TamperClass::DataMac),
+            1 => Some(TamperClass::Meta),
+            2 => Some(TamperClass::CounterBlock),
+            n => u8::try_from(n - 3).ok().map(|level| TamperClass::TreeNode { level }),
+        }
+    }
+}
+
 impl fmt::Display for TamperClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -156,6 +193,27 @@ mod tests {
         };
         assert!(err.to_string().contains("0x40"));
         assert!(MemError::from(err).integrity().is_some());
+    }
+
+    #[test]
+    fn tamper_codes_round_trip() {
+        let classes = [
+            TamperClass::DataMac,
+            TamperClass::Meta,
+            TamperClass::CounterBlock,
+            TamperClass::TreeNode { level: 0 },
+            TamperClass::TreeNode { level: 7 },
+            TamperClass::TreeNode { level: 255 },
+        ];
+        for c in classes {
+            assert_eq!(TamperClass::from_code(c.code()), Some(c));
+        }
+        assert_eq!(TamperClass::from_code(3), Some(TamperClass::TreeNode { level: 0 }));
+        let mut seen = std::collections::HashSet::new();
+        for c in classes {
+            assert!(seen.insert(c.code()), "codes must be unique");
+        }
+        assert!(TamperClass::from_code(3 + 256).is_none(), "level beyond u8 rejected");
     }
 
     #[test]

@@ -31,10 +31,13 @@
 //! [`rekey`]: EncryptionLayer::rekey
 
 use crate::adt::{Block, MemoryAdt, BLOCK_BYTES};
+use crate::dump::{DumpBundle, DumpContext};
 use crate::error::{IntegrityError, MemError, TamperClass};
+use crate::flight::{FlightRecorder, FLIGHT_CAPACITY};
 use crate::geometry::{Geometry, Region, NODE_ARITY, PAGE_BLOCKS};
 use crate::metrics::{MemMetrics, MemMetricsSnapshot, MemOp, MemStage, Stamp};
 use crate::store::{StoreBackend, StoredWord, WORD_BYTES};
+use clme_obs::flight::FlightSnapshot;
 use clme_counters::split::CounterBlock;
 use clme_crypto::keys::KeyMaterial;
 use clme_crypto::mac::counterless_mac;
@@ -61,6 +64,8 @@ pub struct LayerOptions {
     pub counter_saturation: u64,
     /// Number of page-shard locks.
     pub shards: usize,
+    /// Events the flight recorder retains (its black-box window).
+    pub flight_capacity: usize,
 }
 
 impl Default for LayerOptions {
@@ -68,6 +73,7 @@ impl Default for LayerOptions {
         LayerOptions {
             counter_saturation: MAX_COUNTER as u64,
             shards: 16,
+            flight_capacity: FLIGHT_CAPACITY,
         }
     }
 }
@@ -129,6 +135,13 @@ pub struct EncryptionLayer<B: StoreBackend> {
     tracing: AtomicBool,
     epoch: Instant,
     metrics: MemMetrics,
+    flight: FlightRecorder,
+    /// An armed post-mortem dump: the context plus the metrics baseline
+    /// taken at arm time (so the bundle carries window deltas). One-shot
+    /// on integrity errors.
+    dump: Mutex<Option<(DumpContext, MemMetricsSnapshot)>>,
+    /// Where the most recent dump landed.
+    last_dump: Mutex<Option<std::path::PathBuf>>,
 }
 
 const NODE_MAC_DOMAIN: &[u8] = b"clme-mem:node-mac:v1";
@@ -322,6 +335,9 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             tracing: AtomicBool::new(false),
             epoch: Instant::now(),
             metrics,
+            flight: FlightRecorder::new(options.flight_capacity),
+            dump: Mutex::new(None),
+            last_dump: Mutex::new(None),
         })
     }
 
@@ -384,6 +400,93 @@ impl<B: StoreBackend> EncryptionLayer<B> {
         clme_obs::prom::render(&self.metrics.prom_samples(self.backend.store_metrics()))
     }
 
+    /// The layer's flight recorder (a no-op stub under `telemetry-off`).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Merged, ordered view of the flight ring's retained events.
+    pub fn flight_snapshot(&self) -> FlightSnapshot {
+        self.flight.snapshot()
+    }
+
+    /// Arms post-mortem capture: the next [`IntegrityError`] raised by a
+    /// batch op or rekey sweep writes a `.clmedump` bundle to
+    /// `ctx.path` (flight ring + metrics delta since this call +
+    /// geometry/config/seed), then disarms. [`dump_now`] triggers the
+    /// same bundle explicitly without disarming.
+    ///
+    /// [`dump_now`]: EncryptionLayer::dump_now
+    pub fn arm_dump(&self, ctx: DumpContext) {
+        let base = self.metrics_snapshot();
+        *self.dump.lock().unwrap_or_else(PoisonError::into_inner) = Some((ctx, base));
+    }
+
+    /// Disarms post-mortem capture, returning the pending context.
+    pub fn disarm_dump(&self) -> Option<DumpContext> {
+        self.dump
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .map(|(ctx, _)| ctx)
+    }
+
+    /// Writes the armed dump bundle now (trigger `"exit"`), without
+    /// disarming. `Ok(None)` when no dump is armed.
+    pub fn dump_now(&self) -> std::io::Result<Option<std::path::PathBuf>> {
+        self.write_dump("exit", None, false)
+    }
+
+    /// Where the most recent dump bundle was written, if any.
+    pub fn last_dump(&self) -> Option<std::path::PathBuf> {
+        self.last_dump
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The integrity-error path: record the failure in the flight ring,
+    /// bump the metric, and flush the armed dump (one-shot).
+    fn note_integrity_error(&self, e: &IntegrityError) {
+        self.metrics.integrity_error();
+        self.flight.integrity_fail(e.addr, e.class);
+        let _ = self.write_dump("integrity-error", Some(*e), true);
+    }
+
+    fn write_dump(
+        &self,
+        trigger: &str,
+        error: Option<IntegrityError>,
+        consume: bool,
+    ) -> std::io::Result<Option<std::path::PathBuf>> {
+        let armed = {
+            let mut guard = self.dump.lock().unwrap_or_else(PoisonError::into_inner);
+            if consume {
+                guard.take()
+            } else {
+                guard.clone()
+            }
+        };
+        let Some((ctx, base)) = armed else {
+            return Ok(None);
+        };
+        let delta = self.metrics_snapshot().delta_since(&base);
+        let bundle = DumpBundle::assemble(
+            trigger,
+            self.backend.kind(),
+            &self.geo,
+            self.shards.len() as u64,
+            self.saturation,
+            &ctx,
+            &delta,
+            self.flight.snapshot(),
+            error,
+        );
+        crate::dump::write_atomic(&ctx.path, &bundle.to_json().to_pretty())?;
+        *self.last_dump.lock().unwrap_or_else(PoisonError::into_inner) = Some(ctx.path.clone());
+        Ok(Some(ctx.path))
+    }
+
     /// Installs a span tracer; subsequent reads emit request spans.
     pub fn install_tracer(&self, tracer: SpanTracer) {
         *self.tracer.lock().unwrap_or_else(PoisonError::into_inner) = Some(tracer);
@@ -408,11 +511,12 @@ impl<B: StoreBackend> EncryptionLayer<B> {
     pub fn rekey(&self, new_master: [u8; 32]) -> Result<RekeyReport, MemError> {
         let result = self.rekey_inner(new_master);
         if let Err(e) = &result {
-            if e.integrity().is_some() {
-                self.metrics.integrity_error();
+            if let Some(ie) = e.integrity() {
+                self.note_integrity_error(ie);
             }
         }
         self.metrics.rekey_end(result.is_ok());
+        self.flight.rekey_end(result.is_ok());
         result
     }
 
@@ -421,11 +525,14 @@ impl<B: StoreBackend> EncryptionLayer<B> {
         for (i, s) in self.shards.iter().enumerate() {
             let w = Stamp::now();
             _guards.push(s.write().unwrap_or_else(PoisonError::into_inner));
-            self.metrics.lock_wait(i, w, Stamp::now());
+            let a = Stamp::now();
+            self.metrics.lock_wait(i, w, a);
+            self.flight.lock_wait(i, a.since_ns(w));
         }
         let hold_from = Stamp::now();
         let root = self.tree.write().unwrap_or_else(PoisonError::into_inner);
         self.metrics.rekey_begin(self.geo.pages());
+        self.flight.rekey_begin(self.geo.pages());
         let old = self.keys();
         let new = KeyMaterial::from_master(new_master);
         let old_mkey = old.counterless_mac_key();
@@ -499,13 +606,15 @@ impl<B: StoreBackend> EncryptionLayer<B> {
                     self.geo.data_word(addr),
                     &encrypt_one(&new, addr, &pt, counter, self.saturation),
                 )?;
-                self.metrics.observe_ciphertext_write(page);
+                let observed = self.metrics.observe_ciphertext_write(page);
+                self.flight.ciphertext_write(page, observed);
                 blocks += 1;
                 if counter > self.saturation {
                     counterless_blocks += 1;
                 }
             }
             self.metrics.rekey_page_done();
+            self.flight.rekey_page(page);
         }
         drop(root);
         *self.keys.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(new);
@@ -814,8 +923,8 @@ impl<B: StoreBackend> MemoryAdt for EncryptionLayer<B> {
                 self.metrics.op_between(MemOp::Batch, call0, Stamp::now());
             }
             Err(e) => {
-                if e.integrity().is_some() {
-                    self.metrics.integrity_error();
+                if let Some(ie) = e.integrity() {
+                    self.note_integrity_error(ie);
                 }
             }
         }
@@ -831,8 +940,8 @@ impl<B: StoreBackend> MemoryAdt for EncryptionLayer<B> {
                 self.metrics.op_between(MemOp::Batch, call0, Stamp::now());
             }
             Err(e) => {
-                if e.integrity().is_some() {
-                    self.metrics.integrity_error();
+                if let Some(ie) = e.integrity() {
+                    self.note_integrity_error(ie);
                 }
             }
         }
@@ -860,6 +969,7 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             let acquired = lock_probe.map(|w| {
                 let a = Stamp::now();
                 self.metrics.lock_wait(shard_idx, w, a);
+                self.flight.lock_wait(shard_idx, a.since_ns(w));
                 a
             });
             let keys = self.keys();
@@ -922,6 +1032,7 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             if tracing {
                 self.emit_read_spans(meta0, meta1, &traced);
             }
+            self.flight.read_page(page, idxs.len() as u64);
             if let Some(acquired) = acquired {
                 self.metrics.lock_hold(shard_idx, acquired);
             }
@@ -944,6 +1055,7 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             let acquired = lock_probe.map(|w| {
                 let a = Stamp::now();
                 self.metrics.lock_wait(shard_idx, w, a);
+                self.flight.lock_wait(shard_idx, a.since_ns(w));
                 a
             });
             let keys = self.keys();
@@ -976,6 +1088,7 @@ impl<B: StoreBackend> EncryptionLayer<B> {
                 let mut reencrypt: Vec<(u64, Block, u64)> = Vec::new();
                 if let Some(others) = &outcome.page_reencryption {
                     self.metrics.page_roll();
+                    self.flight.page_roll(page);
                     let m0 = Stamp::now();
                     for &(other_slot, new_counter) in others {
                         let other_addr = page * PAGE_BLOCKS + other_slot as u64;
@@ -1007,18 +1120,21 @@ impl<B: StoreBackend> EncryptionLayer<B> {
                         .stage_between(MemOp::Write, MemStage::PadGen, c1, e1);
                 }
                 self.backend.write_word(self.geo.data_word(addr), &word)?;
-                self.metrics.observe_ciphertext_write(page);
+                let observed = self.metrics.observe_ciphertext_write(page);
+                self.flight.ciphertext_write(page, observed);
                 for (other_addr, pt, new_counter) in reencrypt {
                     self.backend.write_word(
                         self.geo.data_word(other_addr),
                         &encrypt_one(&keys, other_addr, &pt, new_counter, self.saturation),
                     )?;
-                    self.metrics.observe_ciphertext_write(page);
+                    let observed = self.metrics.observe_ciphertext_write(page);
+                    self.flight.ciphertext_write(page, observed);
                 }
                 if let Some(b0) = b0 {
                     self.metrics.op_between(MemOp::Write, b0, Stamp::now());
                 }
             }
+            self.flight.write_page(page, idxs.len() as u64);
             if let Some(acquired) = acquired {
                 self.metrics.lock_hold(shard_idx, acquired);
             }

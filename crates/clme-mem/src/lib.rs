@@ -44,14 +44,18 @@
 //! ```
 
 pub mod adt;
+pub mod dump;
 pub mod error;
+pub mod flight;
 pub mod geometry;
 pub mod layer;
 pub mod metrics;
 pub mod store;
 
 pub use adt::{Block, MemoryAdt, BLOCK_BYTES};
+pub use dump::{write_atomic, DumpBundle, DumpContext, DumpCounts, DUMP_SCHEMA};
 pub use error::{IntegrityError, MemError, TamperClass};
+pub use flight::{FlightKind, FlightRecorder, BURST_FLOOR, FLIGHT_CAPACITY, FLIGHT_KINDS, SLOW_LOCK_NS};
 pub use geometry::{Geometry, Region, NODE_ARITY, PAGE_BLOCKS};
 pub use layer::{EncryptionLayer, LayerOptions, RekeyReport};
 pub use metrics::{

@@ -451,6 +451,15 @@ impl Stamp {
     fn since(self, earlier: Stamp) -> Duration {
         self.0.saturating_duration_since(earlier.0)
     }
+
+    /// Nanoseconds since `earlier` (zero under `telemetry-off`). Lets
+    /// instrumentation sites compare an already-taken probe against a
+    /// threshold — e.g. the flight recorder's slow-lock event — without
+    /// reaching into the `Instant`.
+    #[inline]
+    pub fn since_ns(self, earlier: Stamp) -> u64 {
+        u64::try_from(self.since(earlier).as_nanos()).unwrap_or(u64::MAX)
+    }
 }
 
 /// Every `SAMPLE_EVERY`-th [`MemMetrics::sample`] call per thread says
@@ -705,11 +714,14 @@ impl MemMetrics {
     }
 
     /// A fresh ciphertext for `page` became visible in the store.
+    /// Returns the page's new observation count (0 when the page is out
+    /// of range), so callers can detect write bursts without re-reading.
     #[inline]
-    pub fn observe_ciphertext_write(&self, page: u64) {
+    pub fn observe_ciphertext_write(&self, page: u64) -> u64 {
         self.observed_total.inc();
-        if let Some(slot) = self.observed.get(page as usize) {
-            slot.fetch_add(1, Ordering::Relaxed);
+        match self.observed.get(page as usize) {
+            Some(slot) => slot.fetch_add(1, Ordering::Relaxed) + 1,
+            None => 0,
         }
     }
 
@@ -931,6 +943,12 @@ impl Stamp {
     pub fn now() -> Stamp {
         Stamp
     }
+
+    /// Always zero; no clock exists to subtract.
+    #[inline(always)]
+    pub fn since_ns(self, _earlier: Stamp) -> u64 {
+        0
+    }
 }
 
 /// No-op twin of the live metrics: every record call compiles away and
@@ -987,9 +1005,11 @@ impl MemMetrics {
     /// No-op.
     #[inline(always)]
     pub fn counterless_write(&self) {}
-    /// No-op.
+    /// No-op; always zero.
     #[inline(always)]
-    pub fn observe_ciphertext_write(&self, _page: u64) {}
+    pub fn observe_ciphertext_write(&self, _page: u64) -> u64 {
+        0
+    }
     /// Always zero.
     pub fn observed_writes(&self, _page: u64) -> u64 {
         0

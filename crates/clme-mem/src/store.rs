@@ -37,6 +37,13 @@ pub trait StoreBackend: Send + Sync {
     fn store_metrics(&self) -> Option<&StoreMetrics> {
         None
     }
+
+    /// Stable backend identifier recorded into post-mortem dump bundles
+    /// so a replay can rebuild the same backend class. The default is
+    /// for out-of-tree backends the replayer does not know.
+    fn kind(&self) -> &'static str {
+        "unknown"
+    }
 }
 
 fn check_bounds(index: u64, limit: u64) -> Result<(), MemError> {
@@ -120,6 +127,10 @@ impl StoreBackend for VecBackend {
 
     fn store_metrics(&self) -> Option<&StoreMetrics> {
         Some(&self.metrics)
+    }
+
+    fn kind(&self) -> &'static str {
+        "vec"
     }
 }
 
@@ -300,6 +311,10 @@ impl StoreBackend for FileBackend {
 
     fn store_metrics(&self) -> Option<&StoreMetrics> {
         Some(&self.metrics)
+    }
+
+    fn kind(&self) -> &'static str {
+        "file"
     }
 }
 

@@ -26,6 +26,7 @@
 
 pub mod chrome;
 pub mod counters;
+pub mod flight;
 pub mod hist;
 pub mod prom;
 pub mod registry;
@@ -36,6 +37,7 @@ pub mod span;
 
 pub use chrome::{chrome_trace_json, span_flow_json};
 pub use counters::{Component, EventCounters, EventKind};
+pub use flight::{FlightEvent, FlightRing, FlightSnapshot, FLIGHT_SHARDS};
 pub use hist::Log2Histogram;
 pub use registry::{
     Counter, Gauge, MetricKind, MetricsError, Registry, Sample, SampleValue, ShardedHistogram,

@@ -140,8 +140,10 @@ thread_local! {
     static THREAD_SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
 }
 
+/// Raw per-thread slot (unmasked). Shared with the flight recorder so a
+/// thread lands on the same stripe index in every sharded structure.
 #[inline]
-fn thread_shard() -> usize {
+pub(crate) fn thread_slot() -> usize {
     THREAD_SLOT.with(|slot| {
         let mut s = slot.get();
         if s == usize::MAX {
@@ -149,7 +151,12 @@ fn thread_shard() -> usize {
             slot.set(s);
         }
         s
-    }) & (HIST_SHARDS - 1)
+    })
+}
+
+#[inline]
+fn thread_shard() -> usize {
+    thread_slot() & (HIST_SHARDS - 1)
 }
 
 /// A log2 latency histogram safe for concurrent recording.

@@ -29,6 +29,28 @@ cargo run --release -q --offline -p clme-bench --bin clme -- \
 cargo run --release -q --offline -p clme-bench --bin clme -- \
     mem --smoke --backend file --blocks 256 --ops 1000
 
+echo "== post-mortem smoke (tamper -> .clmedump -> postmortem -> replay) =="
+# The flight-recorder black box end-to-end on both backends: a forced
+# single-byte flip provokes an IntegrityError, the armed layer writes a
+# .clmedump bundle, `clme postmortem` renders it, and --replay re-runs
+# the captured op window from the recorded seed to reproduce the same
+# error class deterministically.
+for BACKEND in vec file; do
+    DUMP="/tmp/clme_pm_${BACKEND}.clmedump"
+    rm -f "$DUMP"
+    cargo run --release -q --offline -p clme-bench --bin clme -- \
+        mem --tamper mac --backend "$BACKEND" --blocks 256 --ops 1000 \
+        --dump "$DUMP"
+    if [[ ! -s "$DUMP" ]]; then
+        echo "post-mortem smoke: no dump bundle at $DUMP"
+        exit 1
+    fi
+    grep -q '"trigger": "integrity-error"' "$DUMP"
+    cargo run --release -q --offline -p clme-bench --bin clme -- \
+        postmortem "$DUMP" --replay > /dev/null
+    echo "post-mortem smoke ($BACKEND): bundle parsed, replay reproduced the class"
+done
+
 echo "== mem telemetry smoke + overhead gate =="
 # The telemetry pipeline end-to-end: bench both backends with the
 # always-on metrics, write the stats artifact, and verify the key
@@ -38,6 +60,24 @@ cargo run --release -q --offline -p clme-bench --bin clme -- \
     mem --bench --blocks 2048 --ops 8000 --stats-json BENCH_mem.json
 cargo run --release -q --offline -p clme-bench --bin clme -- \
     mem --check-stats BENCH_mem.json
+
+# Non-gating latency trend: compare this run's read/write p99 against
+# the previous history entry. The history array is the only place the
+# *_p99_ns keys appear, so a grep pulls the per-entry series. Purely
+# informational — single-core CI noise is too large to gate on, but a
+# drift shows up in the log next to the run that caused it.
+for METRIC in read_p99_ns write_p99_ns; do
+    grep -o "\"$METRIC\": [0-9.]*" BENCH_mem.json | awk -F': ' -v m="$METRIC" '
+        { prev = last; last = $2 }
+        END {
+            if (prev == "" || prev + 0 == 0) {
+                printf "trend %s: %.0f ns (no previous history entry)\n", m, last
+            } else {
+                printf "trend %s: %.0f ns vs %.0f ns previous (%+.1f%%)\n",
+                    m, last, prev, (last - prev) / prev * 100
+            }
+        }'
+done
 cargo run --release -q --offline -p clme-bench --bin clme -- \
     mem --bench --backend file --blocks 2048 --ops 8000 \
     --stats-json /tmp/clme_mem_file_stats.json
