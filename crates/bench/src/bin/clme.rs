@@ -84,7 +84,7 @@
 use clme_core::engine::EngineKind;
 use clme_mem::{
     write_atomic, DumpBundle, DumpContext, EncryptionLayer, FileBackend, LayerOptions, MemOp,
-    MemoryAdt, StoreBackend, VecBackend,
+    MemoryAdt, StoreBackend, VecBackend, DEFAULT_CACHE_PAGES,
 };
 use clme_obs::{span_flow_json, Blame, EpochSeries, EventKind, Log2Histogram, SpanTracer, Stage};
 use clme_sim::matrix::{all_engines, RunMatrix};
@@ -219,6 +219,7 @@ fn matrix_usage() -> ! {
          \x20                  [--filter GLOB]\n\
          \x20      clme diff   [--tiny] [--threads N] [--seed HEX|DEC] --golden DIR [--tol FRACTION]\n\
          \x20                  [--filter GLOB]\n\
+         \x20      clme diff   --mem-stats A.json B.json\n\
          \n\
          matrix runs the (workload x engine x config) grid in parallel and\n\
          prints one summary row per cell; --out also writes one stats-snapshot\n\
@@ -230,7 +231,10 @@ fn matrix_usage() -> ! {
          paper's 72 cells (goldens/full). --filter keeps only cells whose\n\
          config/engine/benchmark label matches GLOB (* and ? wildcards); cell\n\
          results never change under filtering because workload seeds are\n\
-         label-keyed."
+         label-keyed. diff --mem-stats instead compares two clme mem\n\
+         --stats-json artifacts for read-result parity (caller-visible\n\
+         traffic counters must match exactly; cache internals may differ) —\n\
+         the CI check that cache-on and cache-off runs read the same bytes."
     );
     std::process::exit(2)
 }
@@ -373,7 +377,66 @@ fn load_golden(dir: &Path, stem: &str) -> Result<StatsSnapshot, String> {
     StatsSnapshot::from_json(&text).map_err(|err| format!("{}: {err}", path.display()))
 }
 
+/// `clme diff --mem-stats A B`: read-result parity between two
+/// `clme mem --stats-json` artifacts — the CI check that a cache-on run
+/// served exactly the traffic a cache-off run did. Only the
+/// caller-visible counters are compared; cache and store internals are
+/// *expected* to differ between the two configurations.
+fn run_mem_stats_diff(paths: &[String]) -> i32 {
+    let [a, b] = paths else {
+        eprintln!("diff --mem-stats needs exactly two artifact paths");
+        matrix_usage()
+    };
+    let load = |path: &String| -> Result<JsonValue, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| format!("cannot read {path}: {err}"))?;
+        clme_types::json::parse(&text).map_err(|err| format!("{path} is not valid JSON: {err}"))
+    };
+    let (doc_a, doc_b) = match (load(a), load(b)) {
+        (Ok(doc_a), Ok(doc_b)) => (doc_a, doc_b),
+        (Err(err), _) | (_, Err(err)) => {
+            eprintln!("{err}");
+            return 1;
+        }
+    };
+    let counter = |doc: &JsonValue, key: &str| {
+        doc.get("stats")
+            .and_then(|s| s.get("counters"))
+            .and_then(|c| c.get(key))
+            .and_then(JsonValue::as_f64)
+    };
+    let mut bad = 0usize;
+    for key in [
+        "blocks_read",
+        "blocks_written",
+        "batch_reads",
+        "batch_writes",
+        "integrity_errors",
+    ] {
+        match (counter(&doc_a, key), counter(&doc_b, key)) {
+            (Some(va), Some(vb)) if va == vb => println!("ok      counters.{key} = {va}"),
+            (va, vb) => {
+                bad += 1;
+                let show = |v: Option<f64>| {
+                    v.map_or_else(|| "missing".to_string(), |v| format!("{v}"))
+                };
+                println!("DEVIATES counters.{key}: {} vs {}", show(va), show(vb));
+            }
+        }
+    }
+    if bad == 0 {
+        println!("read-result parity: {a} and {b} agree");
+        0
+    } else {
+        println!("{bad} counters deviate between {a} and {b}");
+        1
+    }
+}
+
 fn run_diff_command(args: &[String]) -> i32 {
+    if args.first().map(String::as_str) == Some("--mem-stats") {
+        return run_mem_stats_diff(&args[1..]);
+    }
     let args = parse_matrix_args(args);
     let Some(golden_dir) = &args.golden else {
         eprintln!("diff needs --golden DIR");
@@ -1156,7 +1219,7 @@ fn critpath_usage() -> ! {
          snapshot's blame.* metrics exactly.\n\
          \n\
          Labels of the form mem/BACKEND/PATTERN (backend vec|file, pattern\n\
-         sweep|zipf) trace the clme-mem library itself instead of a simulated\n\
+         sweep|zipf|hot) trace the clme-mem library itself instead of a simulated\n\
          cell: reads of an encrypted in-process store, host-clock spans, the\n\
          same blame table. See clme mem --help for the library runner.\n\
          \n\
@@ -1375,14 +1438,17 @@ struct MemArgs {
     dump_on_exit: bool,
     serve: Option<String>,
     serve_requests: usize,
+    cache: bool,
+    cache_pages: Option<usize>,
 }
 
 fn mem_usage() -> ! {
     eprintln!(
         "usage: clme mem [--backend vec|file] [--path PATH] [--blocks N] [--ops N]\n\
          \x20            [--seed HEX|DEC] [--saturation N] [--smoke | --bench |\n\
-         \x20            --critpath sweep|zipf | --tamper REGION] [--samples N]\n\
+         \x20            --critpath sweep|zipf|hot | --tamper REGION] [--samples N]\n\
          \x20            [--json PATH] [--trace PATH] [--reps N] [--watch]\n\
+         \x20            [--cache | --no-cache] [--cache-pages N]\n\
          \x20            [--epoch-ms MS] [--stats] [--stats-json PATH] [--prom PATH]\n\
          \x20            [--check-stats PATH] [--dump PATH] [--dump-on-exit]\n\
          \x20            [--serve ADDR] [--serve-requests N]\n\
@@ -1397,12 +1463,19 @@ fn mem_usage() -> ! {
          --smoke     same checks, compact output, nonzero exit on any miss\n\
          \x20        (this is the tier-1 CI entry point)\n\
          --bench     batch write/read throughput, op latency percentiles,\n\
-         \x20        and rekey sweep rate (--reps keeps the best of N)\n\
+         \x20        and rekey sweep rate (one untimed warm-up pass, then\n\
+         \x20        --reps timed reps: best-of-N plus the per-rep spread)\n\
          --critpath  trace reads with the span tracer and print the blame\n\
-         \x20        table (sweep = sequential, zipf = skewed; hot blocks\n\
-         \x20        saturate their counters and go counterless)\n\
+         \x20        table (sweep = sequential, zipf = skewed; hot = a small\n\
+         \x20        working set re-read so the verified-page cache serves\n\
+         \x20        it; zipf blocks saturate counters and go counterless)\n\
          --backend   vec (in-memory, default) or file (paged file store;\n\
          \x20        --path to keep it, otherwise a temp file is used)\n\
+         --cache / --no-cache  enable (default) or disable the layer's\n\
+         \x20        verified-page read cache; --no-cache re-verifies the\n\
+         \x20        whole chain on every read\n\
+         --cache-pages N  verified-page cache capacity in pages (default\n\
+         \x20        512; implies --cache)\n\
          --saturation counters above N switch the block to counterless mode\n\
          --watch     print a telemetry epoch row every --epoch-ms (default\n\
          \x20        250) while the bench runs\n\
@@ -1428,7 +1501,8 @@ fn mem_usage() -> ! {
          example: clme mem --smoke --blocks 256\n\
          example: clme mem --bench --backend file --blocks 8192 --stats\n\
          example: clme mem --bench --stats-json BENCH_mem.json --reps 3\n\
-         example: clme mem --critpath zipf --json mem_blame.json\n\
+         example: clme mem --critpath hot --json mem_blame.json\n\
+         example: clme mem --bench --no-cache --stats\n\
          example: clme mem --tamper mac --blocks 256 --dump mac.clmedump\n\
          example: clme mem --serve 127.0.0.1:9464 --blocks 256"
     );
@@ -1461,6 +1535,8 @@ fn parse_mem_args(args: &[String]) -> MemArgs {
         dump_on_exit: false,
         serve: None,
         serve_requests: 0,
+        cache: true,
+        cache_pages: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -1506,11 +1582,18 @@ fn parse_mem_args(args: &[String]) -> MemArgs {
             "--bench" => parsed.bench = true,
             "--critpath" => {
                 let pattern = value("--critpath");
-                if !matches!(pattern.as_str(), "sweep" | "zipf") {
-                    eprintln!("--critpath must be sweep or zipf");
+                if !matches!(pattern.as_str(), "sweep" | "zipf" | "hot") {
+                    eprintln!("--critpath must be sweep, zipf, or hot");
                     mem_usage()
                 }
                 parsed.critpath = Some(pattern);
+            }
+            "--cache" => parsed.cache = true,
+            "--no-cache" => parsed.cache = false,
+            "--cache-pages" => {
+                parsed.cache = true;
+                parsed.cache_pages =
+                    Some(value("--cache-pages").parse().unwrap_or_else(|_| mem_usage()))
             }
             "--json" => parsed.json = Some(PathBuf::from(value("--json"))),
             "--trace" => parsed.trace = Some(PathBuf::from(value("--trace"))),
@@ -1588,6 +1671,11 @@ fn mem_options(args: &MemArgs) -> LayerOptions {
         // blame table shows both modes.
         options.counter_saturation = 8;
     }
+    options.cache_pages = if args.cache {
+        args.cache_pages.unwrap_or(DEFAULT_CACHE_PAGES)
+    } else {
+        0
+    };
     options
 }
 
@@ -1620,8 +1708,8 @@ fn run_mem_critpath_label(args: &CritpathArgs, rest: &str) -> i32 {
     let mut parts = rest.splitn(2, '/');
     let backend = parts.next().unwrap_or("");
     let pattern = parts.next().unwrap_or("sweep");
-    if !matches!(backend, "vec" | "file") || !matches!(pattern, "sweep" | "zipf") {
-        eprintln!("bad mem label mem/{rest:?} (want mem/vec|file/sweep|zipf)");
+    if !matches!(backend, "vec" | "file") || !matches!(pattern, "sweep" | "zipf" | "hot") {
+        eprintln!("bad mem label mem/{rest:?} (want mem/vec|file/sweep|zipf|hot)");
         critpath_usage()
     }
     let mem_args = MemArgs {
@@ -1649,6 +1737,8 @@ fn run_mem_critpath_label(args: &CritpathArgs, rest: &str) -> i32 {
         dump_on_exit: false,
         serve: None,
         serve_requests: 0,
+        cache: true,
+        cache_pages: None,
     };
     run_mem_with_args(&mem_args)
 }
@@ -2171,6 +2261,13 @@ struct MemBenchReport {
     ops: usize,
     write_blocks_per_sec: f64,
     read_blocks_per_sec: f64,
+    /// Every timed rep's throughput (best-of-N hides host noise; these
+    /// let the artifact show it).
+    write_rep_blocks_per_sec: Vec<f64>,
+    read_rep_blocks_per_sec: Vec<f64>,
+    /// Slowest rep vs fastest, percent over the fastest.
+    write_spread_pct: f64,
+    read_spread_pct: f64,
     rekey_blocks: u64,
     rekey_blocks_per_sec: f64,
 }
@@ -2237,12 +2334,17 @@ fn mem_bench<B: StoreBackend>(
     let mib = |count: usize, secs: f64| count as f64 * 64.0 / (1024.0 * 1024.0) / secs;
     let mut watch = MemWatch::new(args, layer);
 
-    // Best-of-N phases: host noise only ever slows a run down, so the
-    // fastest rep is the most stable estimate (same reasoning as the
-    // perf gate's measure_best).
-    let mut write_secs = f64::INFINITY;
-    let mut read_secs = f64::INFINITY;
-    for _ in 0..args.reps {
+    // Rep 0 is an untimed warm-up: it pays the one-time costs (page
+    // faults, file page-cache fills, verified-page cache fills) so the
+    // timed reps measure steady state. Of the timed reps the fastest
+    // wins — host noise only ever slows a run down (same reasoning as
+    // the perf gate's measure_best) — but the per-rep times are kept so
+    // the artifact records the spread instead of silently folding a
+    // noisy host into the best.
+    let mut write_rep_secs: Vec<f64> = Vec::with_capacity(args.reps);
+    let mut read_rep_secs: Vec<f64> = Vec::with_capacity(args.reps);
+    for rep in 0..=args.reps {
+        let warmup = rep == 0;
         let mut batch: Vec<(u64, clme_mem::Block)> = Vec::with_capacity(64);
         let started = std::time::Instant::now();
         let mut written = 0usize;
@@ -2257,7 +2359,9 @@ fn mem_bench<B: StoreBackend>(
             written += batch.len();
             watch.tick("write", layer);
         }
-        write_secs = write_secs.min(started.elapsed().as_secs_f64());
+        if !warmup {
+            write_rep_secs.push(started.elapsed().as_secs_f64());
+        }
 
         let mut read_addrs: Vec<u64> = Vec::with_capacity(64);
         let started = std::time::Instant::now();
@@ -2273,8 +2377,17 @@ fn mem_bench<B: StoreBackend>(
             read += read_addrs.len();
             watch.tick("read", layer);
         }
-        read_secs = read_secs.min(started.elapsed().as_secs_f64());
+        if !warmup {
+            read_rep_secs.push(started.elapsed().as_secs_f64());
+        }
     }
+    let best = |secs: &[f64]| secs.iter().copied().fold(f64::INFINITY, f64::min);
+    let spread_pct = |secs: &[f64]| {
+        let (min, max) = (best(secs), secs.iter().copied().fold(0.0, f64::max));
+        if min > 0.0 { (max - min) / min * 100.0 } else { 0.0 }
+    };
+    let write_secs = best(&write_rep_secs);
+    let read_secs = best(&read_rep_secs);
 
     let started = std::time::Instant::now();
     let report = layer
@@ -2283,7 +2396,7 @@ fn mem_bench<B: StoreBackend>(
     let rekey_secs = started.elapsed().as_secs_f64();
 
     println!(
-        "clme-mem bench: {} blocks, batches of 64, backend {}{}",
+        "clme-mem bench: {} blocks, batches of 64, backend {}, 1 warm-up pass{}",
         blocks,
         args.backend,
         if args.reps > 1 {
@@ -2317,6 +2430,14 @@ fn mem_bench<B: StoreBackend>(
         report.blocks as f64 / rekey_secs,
         mib(report.blocks as usize, rekey_secs)
     );
+    if args.reps > 1 {
+        println!(
+            "  spread over {} reps: write {:.1}%  read {:.1}% (max rep vs best)",
+            args.reps,
+            spread_pct(&write_rep_secs),
+            spread_pct(&read_rep_secs),
+        );
+    }
 
     // Per-block latency percentiles from the always-on telemetry (all
     // reps pooled). Under telemetry-off these print as zeros.
@@ -2346,6 +2467,10 @@ fn mem_bench<B: StoreBackend>(
         ops,
         write_blocks_per_sec: ops as f64 / write_secs,
         read_blocks_per_sec: ops as f64 / read_secs,
+        write_rep_blocks_per_sec: write_rep_secs.iter().map(|s| ops as f64 / s).collect(),
+        read_rep_blocks_per_sec: read_rep_secs.iter().map(|s| ops as f64 / s).collect(),
+        write_spread_pct: spread_pct(&write_rep_secs),
+        read_spread_pct: spread_pct(&read_rep_secs),
         rekey_blocks: report.blocks,
         rekey_blocks_per_sec: report.blocks as f64 / rekey_secs,
     })
@@ -2355,8 +2480,13 @@ fn mem_bench<B: StoreBackend>(
 // mem telemetry output: --stats / --stats-json / --prom / --check-stats
 // ---------------------------------------------------------------------
 
-/// `BENCH_mem.json` schema version.
-const MEM_SCHEMA: u32 = 1;
+/// `BENCH_mem.json` schema version. 2 added the bench warm-up pass,
+/// per-rep throughput + spread, and the verify_cache/fanin stats
+/// sections; history entries from schema 1 are still carried forward.
+const MEM_SCHEMA: u32 = 2;
+
+/// Schema versions whose `history` arrays this build still understands.
+const MEM_SCHEMA_COMPAT: [u32; 2] = [1, MEM_SCHEMA];
 
 /// Artifact history entries kept when carrying the trajectory forward.
 const MEM_HISTORY_CAP: usize = 40;
@@ -2443,6 +2573,38 @@ fn mem_print_stats(snap: &clme_mem::MemMetricsSnapshot) {
         snap.rekey.last_sweep_ms,
         snap.rekey.last_old_key_dwell_ms,
     );
+    let cache = &snap.cache;
+    println!(
+        "telemetry: verify_cache  {:.1}% hit ({} full / {} partial / {} misses), \
+         fills={} evictions={} bypasses={} resident={} pages",
+        cache.hit_rate() * 100.0,
+        cache.hits,
+        cache.partial_hits,
+        cache.misses,
+        cache.fills,
+        cache.evictions,
+        cache.bypasses,
+        cache.resident_pages,
+    );
+    println!(
+        "telemetry: verify_cache invalidations  write={} rekey={} tamper={} \
+         foreign={} (foreign purges={})",
+        cache.invalidated(clme_mem::CacheCause::Write),
+        cache.invalidated(clme_mem::CacheCause::Rekey),
+        cache.invalidated(clme_mem::CacheCause::Tamper),
+        cache.invalidated(clme_mem::CacheCause::Foreign),
+        cache.foreign_purges,
+    );
+    println!(
+        "telemetry: batch fan-in  read p50={} p99={} max={} blocks/page, \
+         write p50={} p99={} max={} blocks/page",
+        snap.fanin_read.percentile_ps(0.5) / 1000,
+        snap.fanin_read.percentile_ps(0.99) / 1000,
+        snap.fanin_read.max_ps() / 1000,
+        snap.fanin_write.percentile_ps(0.5) / 1000,
+        snap.fanin_write.percentile_ps(0.99) / 1000,
+        snap.fanin_write.max_ps() / 1000,
+    );
     println!(
         "telemetry: store  words={}r/{}w page_cache {:.1}% hit \
          ({} hits / {} misses / {} evictions), file io {}r/{}w",
@@ -2463,7 +2625,8 @@ fn mem_extract_history(text: &str) -> Vec<JsonValue> {
     let Ok(doc) = clme_types::json::parse(text) else {
         return Vec::new();
     };
-    if doc.get("schema").and_then(JsonValue::as_f64) != Some(MEM_SCHEMA as f64) {
+    let schema = doc.get("schema").and_then(JsonValue::as_f64);
+    if !MEM_SCHEMA_COMPAT.iter().any(|&v| schema == Some(v as f64)) {
         return Vec::new();
     }
     match doc.get("history") {
@@ -2489,6 +2652,7 @@ fn mem_stats_artifact(
     let mut entry = vec![
         ("unix_time".into(), JsonValue::Num(unix_time)),
         ("backend".into(), JsonValue::Str(args.backend.clone())),
+        ("cache".into(), JsonValue::Bool(args.cache)),
         ("read_p99_ns".into(), JsonValue::Num(p99_ns(MemOp::Read))),
         ("write_p99_ns".into(), JsonValue::Num(p99_ns(MemOp::Write))),
     ];
@@ -2533,6 +2697,29 @@ fn mem_stats_artifact(
                     "rekey_blocks_per_sec".into(),
                     JsonValue::Num(bench.rekey_blocks_per_sec),
                 ),
+                ("warmup_passes".into(), JsonValue::Num(1.0)),
+                (
+                    "write_rep_blocks_per_sec".into(),
+                    JsonValue::Arr(
+                        bench
+                            .write_rep_blocks_per_sec
+                            .iter()
+                            .map(|&v| JsonValue::Num(v))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "read_rep_blocks_per_sec".into(),
+                    JsonValue::Arr(
+                        bench
+                            .read_rep_blocks_per_sec
+                            .iter()
+                            .map(|&v| JsonValue::Num(v))
+                            .collect(),
+                    ),
+                ),
+                ("write_spread_pct".into(), JsonValue::Num(bench.write_spread_pct)),
+                ("read_spread_pct".into(), JsonValue::Num(bench.read_spread_pct)),
             ]),
         ));
     }
@@ -2630,6 +2817,27 @@ fn mem_check_stats(path: &Path) -> i32 {
     {
         missing.push("stats.store.page_cache_hit_rate".into());
     }
+    for key in ["hits", "partial_hits", "misses", "hit_rate", "bypasses", "resident_pages"] {
+        if stats
+            .and_then(|s| s.get("verify_cache"))
+            .and_then(|c| c.get(key))
+            .and_then(JsonValue::as_f64)
+            .is_none()
+        {
+            missing.push(format!("stats.verify_cache.{key}"));
+        }
+    }
+    for dir in ["read", "write"] {
+        if stats
+            .and_then(|s| s.get("fanin"))
+            .and_then(|f| f.get(dir))
+            .and_then(|f| f.get("p99_blocks"))
+            .and_then(JsonValue::as_f64)
+            .is_none()
+        {
+            missing.push(format!("stats.fanin.{dir}.p99_blocks"));
+        }
+    }
     for op in ["read", "write"] {
         if stats
             .and_then(|s| s.get("ops"))
@@ -2671,17 +2879,24 @@ fn mem_critpath<B: StoreBackend>(
     );
 
     // Populate: a sweep writes every block once; zipf hammers a hot set
-    // until its counters saturate and the blocks go counterless.
+    // until its counters saturate and the blocks go counterless; hot
+    // writes a working set small enough to live entirely in the
+    // verified-page cache, then re-reads it.
+    let hot_set = blocks.min(4 * clme_mem::PAGE_BLOCKS);
     let mut batch: Vec<(u64, clme_mem::Block)> = Vec::with_capacity(64);
-    let writes = if pattern == "zipf" { args.ops.max(64) } else { blocks as usize };
+    let writes = match pattern {
+        "zipf" => args.ops.max(64),
+        "hot" => hot_set as usize,
+        _ => blocks as usize,
+    };
     let mut issued = 0usize;
     while issued < writes {
         batch.clear();
         for _ in 0..64.min(writes - issued) {
-            let addr = if pattern == "zipf" {
-                mem_skewed_addr(&mut rng, blocks)
-            } else {
-                (issued + batch.len()) as u64 % blocks
+            let addr = match pattern {
+                "zipf" => mem_skewed_addr(&mut rng, blocks),
+                "hot" => (issued + batch.len()) as u64 % hot_set,
+                _ => (issued + batch.len()) as u64 % blocks,
             };
             batch.push((addr, mem_pattern_block(&mut rng)));
         }
@@ -2701,10 +2916,10 @@ fn mem_critpath<B: StoreBackend>(
     while read < args.ops {
         read_addrs.clear();
         for _ in 0..64.min(args.ops - read) {
-            let addr = if pattern == "zipf" {
-                mem_skewed_addr(&mut rng, blocks)
-            } else {
-                (read + read_addrs.len()) as u64 % blocks
+            let addr = match pattern {
+                "zipf" => mem_skewed_addr(&mut rng, blocks),
+                "hot" => rng.below(hot_set),
+                _ => (read + read_addrs.len()) as u64 % blocks,
             };
             read_addrs.push(addr);
         }

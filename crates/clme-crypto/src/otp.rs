@@ -73,6 +73,21 @@ impl OtpCipher {
         self.cipher.encrypt_block(input)
     }
 
+    /// Generates pads for a whole batch of `(block_addr, counter)`
+    /// requests in one pass over the already-expanded key schedule —
+    /// the software shape of the paper's "pads are computable before
+    /// the data arrive" pipeline. One `OtpCipher` keeps exactly one
+    /// AES key schedule, so a page's worth of pad requests shares the
+    /// schedule, the round-constant loads, and the instruction stream
+    /// instead of paying per-block call overhead.
+    pub fn pad_batch64(&self, requests: &[(u64, u64)]) -> Vec<[u8; 64]> {
+        let mut pads = Vec::with_capacity(requests.len());
+        for &(block_addr, counter) in requests {
+            pads.push(self.pad_block64(block_addr, counter));
+        }
+        pads
+    }
+
     /// Encrypts a block: `C = P ⊕ OTP(addr, counter)`.
     pub fn encrypt_block64(&self, block_addr: u64, counter: u64, plaintext: &[u8; 64]) -> [u8; 64] {
         xor64(plaintext, &self.pad_block64(block_addr, counter))
@@ -159,6 +174,18 @@ mod tests {
         let c2 = o.encrypt_block64(7, 9, &p2);
         let leaked = xor64(&c1, &c2);
         assert_eq!(leaked, xor64(&p1, &p2));
+    }
+
+    #[test]
+    fn pad_batch_matches_singles() {
+        let o = otp();
+        let requests = [(3u64, 1u64), (4, 2), (3, 1), (1000, u64::MAX)];
+        let pads = o.pad_batch64(&requests);
+        assert_eq!(pads.len(), requests.len());
+        for (&(addr, ctr), pad) in requests.iter().zip(&pads) {
+            assert_eq!(*pad, o.pad_block64(addr, ctr));
+        }
+        assert!(o.pad_batch64(&[]).is_empty());
     }
 
     #[test]

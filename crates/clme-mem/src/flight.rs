@@ -18,6 +18,7 @@ use clme_obs::flight::FlightRing;
 use clme_obs::flight::FlightSnapshot;
 
 use crate::error::TamperClass;
+use crate::metrics::CacheCause;
 
 /// Default number of events the layer's flight ring retains.
 pub const FLIGHT_CAPACITY: usize = 4096;
@@ -70,10 +71,18 @@ pub enum FlightKind {
     /// A page's ciphertext-write count crossed a power of two at or
     /// above [`BURST_FLOOR`]. `a` = page, `b` = the count.
     WriteBurst = 9,
+    /// The verified-page cache dropped entries.
+    /// `a` = [`CacheCause::code`](crate::CacheCause), `b` = entries
+    /// dropped.
+    CachePurge = 10,
+    /// A page group of a batch read was served entirely from the
+    /// verified-page cache (no store traffic, no MAC work).
+    /// `a` = page, `b` = blocks served.
+    ReadHit = 11,
 }
 
 /// All kinds, for render tables and exhaustiveness tests.
-pub const FLIGHT_KINDS: [FlightKind; 9] = [
+pub const FLIGHT_KINDS: [FlightKind; 11] = [
     FlightKind::ReadPage,
     FlightKind::WritePage,
     FlightKind::IntegrityFail,
@@ -83,6 +92,8 @@ pub const FLIGHT_KINDS: [FlightKind; 9] = [
     FlightKind::RekeyEnd,
     FlightKind::LockSlow,
     FlightKind::WriteBurst,
+    FlightKind::CachePurge,
+    FlightKind::ReadHit,
 ];
 
 impl FlightKind {
@@ -98,6 +109,8 @@ impl FlightKind {
             FlightKind::RekeyEnd => "rekey-end",
             FlightKind::LockSlow => "lock-slow",
             FlightKind::WriteBurst => "write-burst",
+            FlightKind::CachePurge => "cache-purge",
+            FlightKind::ReadHit => "read-hit",
         }
     }
 
@@ -196,6 +209,22 @@ impl FlightRecorder {
         }
     }
 
+    /// The verified-page cache dropped `dropped` entries for `cause`.
+    /// Per-page write invalidations are not recorded here (they would
+    /// shadow every [`FlightKind::WritePage`]); this is for the bulk
+    /// purges — rekey, tamper, foreign writes.
+    #[inline]
+    pub fn cache_purge(&self, cause: CacheCause, dropped: u64) {
+        self.ring
+            .record(FlightKind::CachePurge as u16, cause.code(), dropped);
+    }
+
+    /// A page group was served entirely from the verified-page cache.
+    #[inline]
+    pub fn read_hit(&self, page: u64, blocks: u64) {
+        self.ring.record(FlightKind::ReadHit as u16, page, blocks);
+    }
+
     /// Merged, seq-ordered view of the retained events.
     pub fn snapshot(&self) -> FlightSnapshot {
         self.ring.snapshot()
@@ -251,6 +280,12 @@ impl FlightRecorder {
     /// No-op.
     #[inline(always)]
     pub fn ciphertext_write(&self, _page: u64, _count: u64) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn cache_purge(&self, _cause: CacheCause, _dropped: u64) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn read_hit(&self, _page: u64, _blocks: u64) {}
     /// Always empty.
     pub fn snapshot(&self) -> FlightSnapshot {
         FlightSnapshot::default()

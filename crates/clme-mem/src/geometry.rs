@@ -129,6 +129,14 @@ impl Geometry {
         (addr % PAGE_BLOCKS) as usize
     }
 
+    /// The addressable block range of a page — [`PAGE_BLOCKS`] wide
+    /// except for a partial last page, which stops at the store's edge.
+    pub fn page_addr_range(&self, page: u64) -> std::ops::Range<u64> {
+        debug_assert!(page < self.pages);
+        let first = page * PAGE_BLOCKS;
+        first..(first + PAGE_BLOCKS).min(self.data_blocks)
+    }
+
     /// Word index of a block's data word.
     pub fn data_word(&self, addr: u64) -> u64 {
         debug_assert!(addr < self.data_blocks);

@@ -31,11 +31,12 @@
 //! [`rekey`]: EncryptionLayer::rekey
 
 use crate::adt::{Block, MemoryAdt, BLOCK_BYTES};
+use crate::cache::ClockCache;
 use crate::dump::{DumpBundle, DumpContext};
 use crate::error::{IntegrityError, MemError, TamperClass};
 use crate::flight::{FlightRecorder, FLIGHT_CAPACITY};
 use crate::geometry::{Geometry, Region, NODE_ARITY, PAGE_BLOCKS};
-use crate::metrics::{MemMetrics, MemMetricsSnapshot, MemOp, MemStage, Stamp};
+use crate::metrics::{CacheCause, MemMetrics, MemMetricsSnapshot, MemOp, MemStage, Stamp};
 use crate::store::{StoreBackend, StoredWord, WORD_BYTES};
 use clme_obs::flight::FlightSnapshot;
 use clme_counters::split::CounterBlock;
@@ -50,9 +51,13 @@ use clme_obs::span::{SpanKind, SpanTracer};
 use clme_obs::TraceSink;
 use clme_types::Time;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Instant;
+
+/// Default capacity of the verified-page read cache, in pages (about
+/// 2 MB of plaintext at 64 blocks x 64 bytes per page).
+pub const DEFAULT_CACHE_PAGES: usize = 512;
 
 /// Tuning knobs for an [`EncryptionLayer`].
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +71,13 @@ pub struct LayerOptions {
     pub shards: usize,
     /// Events the flight recorder retains (its black-box window).
     pub flight_capacity: usize,
+    /// Pages the verified-page read cache retains (plaintext plus the
+    /// verified counter image, one CLOCK slab per shard). `0` disables
+    /// the cache: every read then re-verifies the full chain. The cache
+    /// also stays off when the backend keeps no
+    /// [`write_generation`](StoreBackend::write_generation) — without
+    /// it the layer cannot detect foreign writes underneath it.
+    pub cache_pages: usize,
 }
 
 impl Default for LayerOptions {
@@ -74,6 +86,7 @@ impl Default for LayerOptions {
             counter_saturation: MAX_COUNTER as u64,
             shards: 16,
             flight_capacity: FLIGHT_CAPACITY,
+            cache_pages: DEFAULT_CACHE_PAGES,
         }
     }
 }
@@ -105,6 +118,27 @@ struct VerifiedPage {
     path: Vec<PathNode>,
 }
 
+/// One resident page of the verified-page read cache: plaintext blocks
+/// decrypted-and-verified earlier, plus the page's verified counter
+/// block so a partial hit can skip the tree walk. Entries are only
+/// consulted, installed, or merged while holding the page's shard
+/// lock, so an entry can never be newer than the store beneath it —
+/// and writes remove the entry under the shard *write* lock, so it can
+/// never be staler either.
+struct PageCacheEntry {
+    /// The layer key epoch the verification ran under; a stale-epoch
+    /// entry is a miss (rekey also purges wholesale — this is the
+    /// belt-and-braces check).
+    epoch: u64,
+    /// The page's verified counter block.
+    cb: CounterBlock,
+    /// Plaintext by slot; only slots set in `present` are meaningful.
+    blocks: Box<[Block]>,
+    /// Bitmap of populated slots — [`PAGE_BLOCKS`] is 64, so one `u64`
+    /// covers the page exactly.
+    present: u64,
+}
+
 /// Host-clock marks of one read, converted to [`Time`] only when a
 /// tracer is installed.
 struct ReadMarks {
@@ -131,6 +165,21 @@ pub struct EncryptionLayer<B: StoreBackend> {
     /// The on-chip tree root: total metadata writes, never stored.
     tree: RwLock<u64>,
     saturation: u64,
+    /// The verified-page read cache; `None` when disabled by options or
+    /// because the backend keeps no write generation.
+    cache: Option<ClockCache<PageCacheEntry>>,
+    /// Store writes this layer issued, bumped *before* the backend sees
+    /// each write so `write_generation - self_writes` can only
+    /// under-count foreign writes — never purge on the layer's own
+    /// traffic.
+    self_writes: AtomicU64,
+    /// High-watermark of the foreign-write estimate already purged for;
+    /// seeded with the backend's generation at attach time so adopted
+    /// history does not read as an attack.
+    foreign_seen: AtomicU64,
+    /// Bumped on every completed rekey; cache entries are stamped with
+    /// it at fill time.
+    key_epoch: AtomicU64,
     tracer: Mutex<Option<SpanTracer>>,
     tracing: AtomicBool,
     epoch: Instant,
@@ -324,6 +373,9 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             .collect::<Vec<_>>()
             .into_boxed_slice();
         let metrics = MemMetrics::new(options.shards, geo.pages());
+        let cache = (options.cache_pages > 0 && backend.write_generation().is_some())
+            .then(|| ClockCache::new(options.shards, options.cache_pages));
+        let foreign_base = backend.write_generation().unwrap_or(0);
         Ok(EncryptionLayer {
             backend,
             geo,
@@ -331,6 +383,10 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             shards,
             tree: RwLock::new(root),
             saturation: options.counter_saturation,
+            cache,
+            self_writes: AtomicU64::new(0),
+            foreign_seen: AtomicU64::new(foreign_base),
+            key_epoch: AtomicU64::new(0),
             tracer: Mutex::new(None),
             tracing: AtomicBool::new(false),
             epoch: Instant::now(),
@@ -391,6 +447,9 @@ impl<B: StoreBackend> EncryptionLayer<B> {
     /// A snapshot of every layer metric, with the backend's store
     /// counters folded in.
     pub fn metrics_snapshot(&self) -> MemMetricsSnapshot {
+        if let Some(cache) = &self.cache {
+            self.metrics.set_cache_resident(cache.len() as u64);
+        }
         self.metrics.snapshot(self.backend.store_metrics())
     }
 
@@ -446,11 +505,62 @@ impl<B: StoreBackend> EncryptionLayer<B> {
     }
 
     /// The integrity-error path: record the failure in the flight ring,
-    /// bump the metric, and flush the armed dump (one-shot).
+    /// bump the metric, drop every cached page (the store is suspect —
+    /// nothing verified before the failure may be served again), and
+    /// flush the armed dump (one-shot).
     fn note_integrity_error(&self, e: &IntegrityError) {
         self.metrics.integrity_error();
         self.flight.integrity_fail(e.addr, e.class);
+        self.purge_cache(CacheCause::Tamper);
         let _ = self.write_dump("integrity-error", Some(*e), true);
+    }
+
+    /// Empties the verified-page cache, attributing the drop to `cause`
+    /// in both the counters and the flight ring.
+    fn purge_cache(&self, cause: CacheCause) {
+        if let Some(cache) = &self.cache {
+            let dropped = cache.clear();
+            self.metrics.cache_invalidated(cause, dropped);
+            self.flight.cache_purge(cause, dropped);
+        }
+    }
+
+    /// Every store write the layer itself issues goes through here: the
+    /// self-write count bumps *before* the backend can observe the
+    /// write, so a concurrent [`foreign_writes_check`] computing
+    /// `write_generation - self_writes` never over-counts — the layer's
+    /// own traffic can never trigger a spurious purge.
+    ///
+    /// [`foreign_writes_check`]: EncryptionLayer::foreign_writes_check
+    fn store_write(&self, index: u64, word: &StoredWord) -> Result<(), MemError> {
+        self.self_writes.fetch_add(1, Ordering::SeqCst);
+        self.backend.write_word(index, word)
+    }
+
+    /// Purges the cache when the backend has seen writes this layer did
+    /// not issue — a tamper harness or bus adversary mutating words
+    /// beneath the layer. Cached plaintext must never mask a
+    /// store-level flip, so any growth of the foreign estimate drops
+    /// everything and re-verifies from the store. Reading the
+    /// generation *before* the self-write count keeps the estimate a
+    /// lower bound under concurrency; once traffic quiesces it is
+    /// exact.
+    fn foreign_writes_check(&self, cache: &ClockCache<PageCacheEntry>) {
+        let Some(generation) = self.backend.write_generation() else {
+            return;
+        };
+        let own = self.self_writes.load(Ordering::SeqCst);
+        let est = generation.saturating_sub(own);
+        // fetch_max returns the prior watermark: only the thread that
+        // actually advances it purges, so one foreign burst is one
+        // purge, not one per racing reader.
+        if est > self.foreign_seen.load(Ordering::SeqCst)
+            && self.foreign_seen.fetch_max(est, Ordering::SeqCst) < est
+        {
+            let dropped = cache.clear();
+            self.metrics.cache_invalidated(CacheCause::Foreign, dropped);
+            self.flight.cache_purge(CacheCause::Foreign, dropped);
+        }
     }
 
     fn write_dump(
@@ -510,6 +620,11 @@ impl<B: StoreBackend> EncryptionLayer<B> {
     /// verifies — let alone decrypts — under the old key.
     pub fn rekey(&self, new_master: [u8; 32]) -> Result<RekeyReport, MemError> {
         let result = self.rekey_inner(new_master);
+        // Whatever the outcome, nothing verified before the sweep may
+        // be served again: success burned the old key (old-key-era
+        // plaintext must be unreachable), failure means the store is
+        // suspect. Stale-epoch stamping backstops the success path.
+        self.purge_cache(CacheCause::Rekey);
         if let Err(e) = &result {
             if let Some(ie) = e.integrity() {
                 self.note_integrity_error(ie);
@@ -561,7 +676,7 @@ impl<B: StoreBackend> EncryptionLayer<B> {
                 }
                 let mac = node_mac(new_mkey, level8, group, &counters, parent, &reserved);
                 word[64..72].copy_from_slice(&mac.to_le_bytes());
-                self.backend.write_word(index, &word)?;
+                self.store_write(index, &word)?;
                 for j in 0..NODE_ARITY as usize {
                     flat.push(u64::from_le_bytes(
                         word[8 * j..8 * j + 8].try_into().expect("8-byte counter"),
@@ -593,16 +708,14 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             }
             let mac = cb_mac(new_mkey, page, &image, leaf, &reserved);
             word[64..72].copy_from_slice(&mac.to_le_bytes());
-            self.backend.write_word(index, &word)?;
+            self.store_write(index, &word)?;
 
             let cb = CounterBlock::from_bytes(&image);
-            let first = page * PAGE_BLOCKS;
-            let last = (first + PAGE_BLOCKS).min(self.geo.data_blocks());
-            for addr in first..last {
+            for addr in self.geo.page_addr_range(page) {
                 let counter = cb.counter(self.geo.slot_of(addr));
                 let data = self.backend.read_word(self.geo.data_word(addr))?;
                 let pt = decrypt_verify(&old, addr, &data, counter, self.saturation)?;
-                self.backend.write_word(
+                self.store_write(
                     self.geo.data_word(addr),
                     &encrypt_one(&new, addr, &pt, counter, self.saturation),
                 )?;
@@ -618,6 +731,10 @@ impl<B: StoreBackend> EncryptionLayer<B> {
         }
         drop(root);
         *self.keys.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(new);
+        // Entries filled before this line verified under the old key;
+        // the epoch bump makes any survivor of the wholesale purge (in
+        // `rekey`) read as a miss.
+        self.key_epoch.fetch_add(1, Ordering::SeqCst);
         for i in 0..self.shards.len() {
             self.metrics.lock_hold(i, hold_from);
         }
@@ -670,7 +787,7 @@ impl<B: StoreBackend> EncryptionLayer<B> {
                 let mut word = [0u8; WORD_BYTES];
                 let mac = node_mac(mkey, level as u8, group, &zero_counters, 0, &[0u8; 8]);
                 word[64..72].copy_from_slice(&mac.to_le_bytes());
-                self.backend.write_word(self.geo.node_word(level, group), &word)?;
+                self.store_write(self.geo.node_word(level, group), &word)?;
             }
         }
         let image = CounterBlock::new().to_bytes();
@@ -679,11 +796,11 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             word[..64].copy_from_slice(&image);
             let mac = cb_mac(mkey, page, &image, 0, &[0u8; 8]);
             word[64..72].copy_from_slice(&mac.to_le_bytes());
-            self.backend.write_word(self.geo.counter_word(page), &word)?;
+            self.store_write(self.geo.counter_word(page), &word)?;
         }
         let zeros = [0u8; BLOCK_BYTES];
         for addr in 0..self.geo.data_blocks() {
-            self.backend.write_word(
+            self.store_write(
                 self.geo.data_word(addr),
                 &encrypt_one(&keys, addr, &zeros, 0, self.saturation),
             )?;
@@ -783,8 +900,7 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             let counters_bytes: [u8; 64] = word[..64].try_into().expect("64-byte counters");
             let mac = node_mac(mkey, node.level as u8, node.group, &counters_bytes, parent, &node.reserved);
             word[64..72].copy_from_slice(&mac.to_le_bytes());
-            self.backend
-                .write_word(self.geo.node_word(node.level, node.group), &word)?;
+            self.store_write(self.geo.node_word(node.level, node.group), &word)?;
         }
         let leaf = v.path[0].counters[v.path[0].slot];
         let image = v.cb.to_bytes();
@@ -792,17 +908,23 @@ impl<B: StoreBackend> EncryptionLayer<B> {
         word[..64].copy_from_slice(&image);
         let mac = cb_mac(mkey, page, &image, leaf, &[0u8; 8]);
         word[64..72].copy_from_slice(&mac.to_le_bytes());
-        self.backend.write_word(self.geo.counter_word(page), &word)?;
+        self.store_write(self.geo.counter_word(page), &word)?;
         Ok(())
     }
 
     /// Reads, verifies, and decrypts one block whose counter is
     /// already verified, collecting host-clock span marks.
+    ///
+    /// `batch_pad` is the block's pad when the caller generated it in a
+    /// page-batched [`pad_batch64`](clme_crypto::otp::OtpCipher::pad_batch64)
+    /// pass, together with the whole batch's generation interval (which
+    /// the marks then carry as this block's pad span).
     fn read_one(
         &self,
         keys: &KeyMaterial,
         addr: u64,
         counter: u64,
+        batch_pad: Option<(&[u8; 64], (Instant, Instant))>,
     ) -> Result<(Block, ReadMarks), MemError> {
         let counterless = counter > self.saturation;
         let issue = Instant::now();
@@ -811,6 +933,9 @@ impl<B: StoreBackend> EncryptionLayer<B> {
         let mut pad_bytes = None;
         let pad = if counterless {
             None
+        } else if let Some((bytes, interval)) = batch_pad {
+            pad_bytes = Some(*bytes);
+            Some(interval)
         } else {
             let p0 = Instant::now();
             pad_bytes = Some(keys.otp().pad_block64(addr, counter));
@@ -907,6 +1032,24 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             tracer.span_request_end(self.t(m.data.1), self.t(m.ready));
         }
     }
+
+    /// Replays cache-hit reads into the tracer: a begin at lookup time,
+    /// a *point* counter fetch (the verified image was already
+    /// resident), the copy interval as the DRAM child, and **no MAC
+    /// child** — a hit re-verifies nothing, which is exactly what span
+    /// blame should show (DRAM-bound, not MAC-bound).
+    fn emit_hit_spans(&self, t0: Instant, t1: Instant, addrs: &[u64]) {
+        let mut guard = self.tracer.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(tracer) = guard.as_mut() else {
+            return;
+        };
+        for &addr in addrs {
+            tracer.span_request_begin(self.t(t0), addr);
+            tracer.span_child(SpanKind::CounterFetch, 0, self.t(t0), self.t(t0));
+            tracer.span_child(SpanKind::DataDram, 0, self.t(t0), self.t(t1));
+            tracer.span_request_end(self.t(t1), self.t(t1));
+        }
+    }
 }
 
 impl<B: StoreBackend> MemoryAdt for EncryptionLayer<B> {
@@ -962,9 +1105,17 @@ impl<B: StoreBackend> EncryptionLayer<B> {
         let tracing = self.tracing.load(Ordering::Relaxed);
         for (page, idxs) in by_page {
             let shard_idx = self.shard_index(page);
-            // Lock wait/hold probes need two extra clock reads, so they
-            // are sampled; the histograms keep the distribution shape.
-            let lock_probe = self.metrics.sample().then(Stamp::now);
+            // One sampling decision per page visit, shared by every
+            // distribution probe on this path: the lock wait/hold pair
+            // (two extra clock reads), the fan-in histogram, and the
+            // flight-recorder ring writes inside the page group. With
+            // the verified-page cache a hot read is a few hundred
+            // nanoseconds, so even clockless probes are budget-visible
+            // unless thinned; the read path uses the rarer 1-in-64
+            // tick while hit/miss *counters* and read op latencies
+            // stay exhaustive.
+            let sampled = self.metrics.sample_read();
+            let lock_probe = sampled.then(Stamp::now);
             let _shard = self.shard(page).read().unwrap_or_else(PoisonError::into_inner);
             let acquired = lock_probe.map(|w| {
                 let a = Stamp::now();
@@ -973,71 +1124,267 @@ impl<B: StoreBackend> EncryptionLayer<B> {
                 a
             });
             let keys = self.keys();
-            let meta0 = Instant::now();
-            let v = {
-                let root = self.tree.read().unwrap_or_else(PoisonError::into_inner);
-                self.verify_page(&keys, page, *root, addrs[idxs[0]])?
-            };
-            let meta1 = Instant::now();
-            // The page verify is the read path's tree walk; its marks
-            // already exist for span tracing, so telemetry reuses them
-            // instead of reading the clock again.
-            self.metrics.stage_duration(
-                MemOp::Read,
-                MemStage::TreeWalk,
-                meta1.saturating_duration_since(meta0),
-            );
-            let mut traced: Vec<(u64, ReadMarks)> = Vec::new();
-            for &i in &idxs {
-                let addr = addrs[i];
-                let counter = v.cb.counter(self.geo.slot_of(addr));
-                if counter > self.saturation {
-                    self.metrics.counterless_read();
-                }
-                let (block, marks) = self.read_one(&keys, addr, counter)?;
-                // The marks are free (span tracing reads those clocks
-                // anyway), but each histogram record touches a bucket
-                // cache line the workload then evicts, so the per-block
-                // stage records are sampled like the write-path probes.
-                if self.metrics.sample() {
-                    self.metrics.stage_duration(
-                        MemOp::Read,
-                        MemStage::MacVerify,
-                        marks.mac.1.saturating_duration_since(marks.mac.0),
-                    );
-                    if let Some((p0, p1)) = marks.pad {
-                        self.metrics.stage_duration(
-                            MemOp::Read,
-                            MemStage::PadGen,
-                            p1.saturating_duration_since(p0),
-                        );
-                    }
-                    if let Some((x0, x1)) = marks.xts {
-                        self.metrics.stage_duration(
-                            MemOp::Read,
-                            MemStage::PadGen,
-                            x1.saturating_duration_since(x0),
-                        );
-                    }
-                }
-                self.metrics.op_duration(
-                    MemOp::Read,
-                    marks.ready.saturating_duration_since(marks.issue),
-                );
-                out[i] = block;
-                if tracing {
-                    traced.push((addr, marks));
-                }
+            if sampled {
+                self.metrics.fanin_read(idxs.len() as u64);
             }
-            if tracing {
-                self.emit_read_spans(meta0, meta1, &traced);
-            }
-            self.flight.read_page(page, idxs.len() as u64);
+            self.read_page_group(&keys, page, addrs, &idxs, &mut out, tracing, sampled)?;
             if let Some(acquired) = acquired {
                 self.metrics.lock_hold(shard_idx, acquired);
             }
         }
         Ok(out)
+    }
+
+    /// Serves one page group of a batch read: consult the verified-page
+    /// cache first, then verify-and-fetch whatever is missing with the
+    /// page's pads generated in one batched pass. Caller holds the
+    /// page's shard read lock.
+    fn read_page_group(
+        &self,
+        keys: &KeyMaterial,
+        page: u64,
+        addrs: &[u64],
+        idxs: &[usize],
+        out: &mut [Block],
+        tracing: bool,
+        sampled: bool,
+    ) -> Result<(), MemError> {
+        let issue = Instant::now();
+        let epoch = self.key_epoch.load(Ordering::SeqCst);
+        let mut cached: Option<(CounterBlock, Vec<Option<Block>>)> = None;
+        if let Some(cache) = &self.cache {
+            self.foreign_writes_check(cache);
+            let found = cache.with(page, |e| {
+                if e.epoch != epoch {
+                    return None;
+                }
+                let mut got = Vec::with_capacity(idxs.len());
+                for &i in idxs {
+                    let slot = self.geo.slot_of(addrs[i]);
+                    got.push((e.present >> slot & 1 == 1).then(|| e.blocks[slot]));
+                }
+                Some((e.cb.clone(), got))
+            });
+            match found {
+                Some(Some(hit)) => cached = Some(hit),
+                // Stale key epoch: the rekey purge already ran, so this
+                // is defense in depth; drop it and fall through to a
+                // miss.
+                Some(None) => {
+                    cache.remove(page);
+                }
+                None => {}
+            }
+        } else {
+            self.metrics.cache_bypass();
+        }
+
+        let hits = cached
+            .as_ref()
+            .map_or(0, |(_, got)| got.iter().flatten().count());
+
+        // Full hit: a pure copy — no store traffic, no tree walk, no
+        // MACs. Read op latency stays exhaustive on every path.
+        if hits == idxs.len() {
+            if let Some((_, got)) = &cached {
+                let done = Instant::now();
+                let elapsed = done.saturating_duration_since(issue);
+                for (&i, block) in idxs.iter().zip(got.iter()) {
+                    out[i] = (*block).expect("full hit");
+                }
+                // All blocks shared the one measured interval: a single
+                // weighted record keeps the count exhaustive (one
+                // latency sample per block) at one histogram pass.
+                self.metrics
+                    .op_duration_n(MemOp::Read, elapsed, idxs.len() as u64);
+                self.metrics.cache_hit();
+                if sampled {
+                    self.flight.read_hit(page, idxs.len() as u64);
+                }
+                if tracing {
+                    let hit_addrs: Vec<u64> = idxs.iter().map(|&i| addrs[i]).collect();
+                    self.emit_hit_spans(issue, done, &hit_addrs);
+                }
+                return Ok(());
+            }
+        }
+
+        // Partial hit: the cached counter block is already verified, so
+        // the tree walk is skipped and only the absent blocks pay for
+        // store I/O and a MAC. Miss: the full verification chain.
+        let was_partial = cached.is_some();
+        let mut meta: Option<(Instant, Instant)> = None;
+        let (cb, got) = match cached {
+            Some((cb, got)) => {
+                self.metrics.cache_partial_hit();
+                (cb, got)
+            }
+            None => {
+                if self.cache.is_some() {
+                    self.metrics.cache_miss();
+                }
+                let meta0 = Instant::now();
+                let v = {
+                    let root = self.tree.read().unwrap_or_else(PoisonError::into_inner);
+                    self.verify_page(keys, page, *root, addrs[idxs[0]])?
+                };
+                let meta1 = Instant::now();
+                // The page verify is the read path's tree walk; its
+                // marks already exist for span tracing, so telemetry
+                // reuses them instead of reading the clock again.
+                self.metrics.stage_duration(
+                    MemOp::Read,
+                    MemStage::TreeWalk,
+                    meta1.saturating_duration_since(meta0),
+                );
+                meta = Some((meta0, meta1));
+                (v.cb, vec![None; idxs.len()])
+            }
+        };
+
+        // Serve the cached blocks before paying for any store I/O.
+        let served = Instant::now();
+        let hit_elapsed = served.saturating_duration_since(issue);
+        let mut hit_addrs: Vec<u64> = Vec::new();
+        for (k, &i) in idxs.iter().enumerate() {
+            if let Some(block) = got[k] {
+                out[i] = block;
+                if tracing {
+                    hit_addrs.push(addrs[i]);
+                }
+            }
+        }
+        // The cached blocks all shared the one serve interval: one
+        // weighted record per visit instead of one per block.
+        self.metrics
+            .op_duration_n(MemOp::Read, hit_elapsed, hits as u64);
+
+        // One batched pass over the shared AES key schedule generates
+        // every absent counter-mode block's pad up front (the paper's
+        // pads-before-data overlap, amortized page-wide).
+        let mut pad_reqs: Vec<(u64, u64)> = Vec::new();
+        for (k, &i) in idxs.iter().enumerate() {
+            if got[k].is_none() {
+                let addr = addrs[i];
+                let counter = cb.counter(self.geo.slot_of(addr));
+                if counter <= self.saturation {
+                    pad_reqs.push((addr, counter));
+                }
+            }
+        }
+        let p0 = Instant::now();
+        let pads = keys.otp().pad_batch64(&pad_reqs);
+        let pad_iv = (p0, Instant::now());
+
+        let mut traced: Vec<(u64, ReadMarks)> = Vec::new();
+        let mut fresh: Vec<(usize, Block)> = Vec::new();
+        let mut next_pad = 0usize;
+        for (k, &i) in idxs.iter().enumerate() {
+            if got[k].is_some() {
+                continue;
+            }
+            let addr = addrs[i];
+            let counter = cb.counter(self.geo.slot_of(addr));
+            if counter > self.saturation {
+                self.metrics.counterless_read();
+            }
+            let batch_pad = (counter <= self.saturation).then(|| {
+                let pad = &pads[next_pad];
+                next_pad += 1;
+                (pad, pad_iv)
+            });
+            let (block, marks) = self.read_one(keys, addr, counter, batch_pad)?;
+            // The marks are free (span tracing reads those clocks
+            // anyway), but each histogram record touches a bucket
+            // cache line the workload then evicts, so the per-block
+            // stage records are sampled like the write-path probes.
+            if self.metrics.sample() {
+                self.metrics.stage_duration(
+                    MemOp::Read,
+                    MemStage::MacVerify,
+                    marks.mac.1.saturating_duration_since(marks.mac.0),
+                );
+                if let Some((p0, p1)) = marks.pad {
+                    self.metrics.stage_duration(
+                        MemOp::Read,
+                        MemStage::PadGen,
+                        p1.saturating_duration_since(p0),
+                    );
+                }
+                if let Some((x0, x1)) = marks.xts {
+                    self.metrics.stage_duration(
+                        MemOp::Read,
+                        MemStage::PadGen,
+                        x1.saturating_duration_since(x0),
+                    );
+                }
+            }
+            self.metrics.op_duration(
+                MemOp::Read,
+                marks.ready.saturating_duration_since(marks.issue),
+            );
+            out[i] = block;
+            fresh.push((self.geo.slot_of(addr), block));
+            if tracing {
+                traced.push((addr, marks));
+            }
+        }
+        if tracing {
+            if !hit_addrs.is_empty() {
+                self.emit_hit_spans(issue, served, &hit_addrs);
+            }
+            if !traced.is_empty() {
+                // A partial hit has no verify interval: its first
+                // request gets a point counter fetch like the rest.
+                let (m0, m1) = meta.unwrap_or((issue, issue));
+                self.emit_read_spans(m0, m1, &traced);
+            }
+        }
+        // Flight-recorder ring writes ride the caller's per-page-visit
+        // sampling decision: the ring is a diagnostic trace, not an
+        // exact count, and recording every visit would cost more than
+        // the cache-served read it describes.
+        if sampled {
+            self.flight.read_page(page, idxs.len() as u64);
+            if hits > 0 {
+                self.flight.read_hit(page, hits as u64);
+            }
+        }
+
+        // Install (or extend) the verified image while still under the
+        // shard read lock: no write can have intervened, so the entry
+        // matches the store exactly.
+        if let Some(cache) = &self.cache {
+            if was_partial {
+                cache.with_mut(page, |e| {
+                    if e.epoch == epoch {
+                        for &(slot, block) in &fresh {
+                            e.blocks[slot] = block;
+                            e.present |= 1 << slot;
+                        }
+                    }
+                });
+            } else {
+                let mut blocks =
+                    vec![[0u8; BLOCK_BYTES]; PAGE_BLOCKS as usize].into_boxed_slice();
+                let mut present = 0u64;
+                for &(slot, block) in &fresh {
+                    blocks[slot] = block;
+                    present |= 1 << slot;
+                }
+                self.metrics.cache_fill();
+                let entry = PageCacheEntry {
+                    epoch,
+                    cb,
+                    blocks,
+                    present,
+                };
+                if cache.insert(page, entry).is_some() {
+                    self.metrics.cache_evict();
+                }
+            }
+        }
+        Ok(())
     }
 
     fn batch_write_inner(&self, writes: &[(u64, Block)]) -> Result<(), MemError> {
@@ -1050,7 +1397,10 @@ impl<B: StoreBackend> EncryptionLayer<B> {
         }
         for (page, idxs) in by_page {
             let shard_idx = self.shard_index(page);
-            let lock_probe = self.metrics.sample().then(Stamp::now);
+            // Same shared per-page-visit sampling decision as the read
+            // path: lock probes and the fan-in histogram thin together.
+            let sampled = self.metrics.sample();
+            let lock_probe = sampled.then(Stamp::now);
             let _shard = self.shard(page).write().unwrap_or_else(PoisonError::into_inner);
             let acquired = lock_probe.map(|w| {
                 let a = Stamp::now();
@@ -1059,6 +1409,18 @@ impl<B: StoreBackend> EncryptionLayer<B> {
                 a
             });
             let keys = self.keys();
+            if sampled {
+                self.metrics.fanin_write(idxs.len() as u64);
+            }
+            // Precise invalidation, under the shard write lock and
+            // before any word changes: only this page's entry drops, so
+            // readers of other pages keep their hits and no reader can
+            // ever see plaintext staler than the store.
+            if let Some(cache) = &self.cache {
+                if cache.remove(page) {
+                    self.metrics.cache_invalidated(CacheCause::Write, 1);
+                }
+            }
             let mut root = self.tree.write().unwrap_or_else(PoisonError::into_inner);
             // The write path has no pre-existing marks to reuse (the
             // read path rides the span tracer's), so its tree-walk and
@@ -1119,11 +1481,11 @@ impl<B: StoreBackend> EncryptionLayer<B> {
                     self.metrics
                         .stage_between(MemOp::Write, MemStage::PadGen, c1, e1);
                 }
-                self.backend.write_word(self.geo.data_word(addr), &word)?;
+                self.store_write(self.geo.data_word(addr), &word)?;
                 let observed = self.metrics.observe_ciphertext_write(page);
                 self.flight.ciphertext_write(page, observed);
                 for (other_addr, pt, new_counter) in reencrypt {
-                    self.backend.write_word(
+                    self.store_write(
                         self.geo.data_word(other_addr),
                         &encrypt_one(&keys, other_addr, &pt, new_counter, self.saturation),
                     )?;
@@ -1361,7 +1723,8 @@ mod tests {
         // The read tree walk reuses the span tracer's marks and records
         // once per page group, so it is exact: reads span pages {0,1,2}.
         assert_eq!(snap.op(MemOp::Read).stages[MemStage::TreeWalk as usize].count(), 3);
-        // Per-block stage records and lock waits are sampled 1-in-8, so
+        // Per-block stage records and lock waits are sampled (1-in-8
+        // write-side, 1-in-64 read-side), so
         // only bounds are deterministic here: three read blocks, two
         // write page groups, five groups total took a shard lock.
         assert!(snap.op(MemOp::Read).stages[MemStage::MacVerify as usize].count() <= 3);
@@ -1384,9 +1747,12 @@ mod tests {
     fn sampled_probes_fire_under_sustained_traffic() {
         use crate::metrics::{MemOp, MemStage};
         let mem = layer(64);
-        // Small batches so the per-batch probe stride (lock + tree walk +
-        // one commit per block) is coprime with the 1-in-8 sample period
-        // and every probe site cycles through a firing tick.
+        // Small batches so the per-round probe-tick stride — 5 write
+        // ticks (lock + tree walk + one per block) plus 2 read-miss
+        // block ticks = 7 — is coprime with the 1-in-8 sample period
+        // and every probe site cycles through a firing tick. (The read
+        // path's shared lock/fan-in decision rides its own 1-in-64
+        // tick and does not advance this one.)
         for round in 0..16u8 {
             mem.batch_write(&[
                 (0, pattern(round)),
@@ -1394,17 +1760,17 @@ mod tests {
                 (2, pattern(round.wrapping_add(2))),
             ])
             .unwrap();
-            let _ = mem.batch_read(&[0, 1, 2]).unwrap();
+            let _ = mem.batch_read(&[0, 1]).unwrap();
         }
         let snap = mem.metrics_snapshot();
         assert_eq!(snap.blocks_written, 48);
-        assert_eq!(snap.blocks_read, 48);
+        assert_eq!(snap.blocks_read, 32);
         let write_lat = snap.op(MemOp::Write).latency.count();
         assert!(
             (1..=48).contains(&write_lat),
             "sampled write latency probes must fire; got {write_lat}"
         );
-        assert_eq!(snap.op(MemOp::Read).latency.count(), 48);
+        assert_eq!(snap.op(MemOp::Read).latency.count(), 32);
         assert!(snap.op(MemOp::Write).stages[MemStage::TreeWalk as usize].count() >= 1);
         assert!(snap.op(MemOp::Write).stages[MemStage::Commit as usize].count() >= 1);
         assert!(snap.op(MemOp::Write).stages[MemStage::PadGen as usize].count() >= 1);
@@ -1461,6 +1827,158 @@ mod tests {
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn read_cache_hits_skip_store_traffic_and_rebias_blame() {
+        let mem = layer(130);
+        mem.batch_write(&[(0, pattern(1)), (1, pattern(2))]).unwrap();
+        assert_eq!(mem.batch_read(&[0, 1]).unwrap(), vec![pattern(1), pattern(2)]);
+        let words_before = mem.metrics_snapshot().store.words_read;
+        mem.install_tracer(SpanTracer::new(16));
+        assert_eq!(mem.batch_read(&[0, 1]).unwrap(), vec![pattern(1), pattern(2)]);
+        let tracer = mem.take_tracer().expect("tracer installed");
+        assert_eq!(
+            tracer.tally().count(Blame::Dram),
+            2,
+            "hits are DRAM-bound, never MAC-bound"
+        );
+        let snap = mem.metrics_snapshot();
+        assert_eq!(snap.store.words_read, words_before, "a full hit reads no words");
+        assert_eq!(snap.cache.hits, 1);
+        assert_eq!(snap.cache.misses, 1);
+        assert_eq!(snap.cache.fills, 1);
+        assert_eq!(
+            snap.op(MemOp::Read).latency.count(),
+            4,
+            "hit latencies stay exhaustive"
+        );
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn partial_hits_reuse_the_counter_block_and_merge() {
+        use crate::metrics::MemStage;
+        let mem = layer(130);
+        mem.batch_write(&[(0, pattern(1)), (1, pattern(2))]).unwrap();
+        let _ = mem.batch_read(&[0]).unwrap(); // miss: fills slot 0
+        let got = mem.batch_read(&[0, 1]).unwrap(); // partial: 1 from store
+        assert_eq!(got, vec![pattern(1), pattern(2)]);
+        let got = mem.batch_read(&[1]).unwrap(); // merged slot -> full hit
+        assert_eq!(got, vec![pattern(2)]);
+        let snap = mem.metrics_snapshot();
+        assert_eq!(snap.cache.misses, 1);
+        assert_eq!(snap.cache.partial_hits, 1);
+        assert_eq!(snap.cache.hits, 1);
+        assert_eq!(snap.cache.fills, 1);
+        // Only the cold miss walked the tree; the partial hit trusted
+        // the cached counter block.
+        assert_eq!(snap.op(MemOp::Read).stages[MemStage::TreeWalk as usize].count(), 1);
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn writes_invalidate_exactly_their_page() {
+        let mem = layer(130);
+        mem.batch_write(&[(0, pattern(1)), (64, pattern(2))]).unwrap();
+        let _ = mem.batch_read(&[0, 64]).unwrap(); // fills pages 0 and 1
+        mem.write_block(0, &pattern(9)).unwrap(); // drops page 0 only
+        assert_eq!(mem.read_block(64).unwrap(), pattern(2)); // page 1 still hits
+        assert_eq!(mem.read_block(0).unwrap(), pattern(9)); // page 0 re-misses
+        let snap = mem.metrics_snapshot();
+        assert_eq!(snap.cache.invalidated(CacheCause::Write), 1);
+        assert_eq!(snap.cache.hits, 1);
+        assert_eq!(snap.cache.misses, 3);
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn foreign_writes_purge_the_cache() {
+        let mem = layer(130);
+        mem.write_block(0, &pattern(1)).unwrap();
+        assert_eq!(mem.read_block(0).unwrap(), pattern(1)); // fill
+        // An adversary flips a byte below the layer: the next lookup
+        // must purge and re-verify — never serve cached plaintext over
+        // a store-level flip.
+        let word0 = mem.backend().read_word(0).unwrap();
+        let mut flipped = word0;
+        flipped[3] ^= 0x01;
+        mem.backend().write_word(0, &flipped).unwrap();
+        assert!(mem.read_block(0).is_err());
+        let snap = mem.metrics_snapshot();
+        assert_eq!(snap.cache.foreign_purges, 1);
+        assert_eq!(snap.cache.invalidated(CacheCause::Foreign), 1);
+        // Restoring the word is another foreign write: purged again,
+        // and reads recover.
+        mem.backend().write_word(0, &word0).unwrap();
+        assert_eq!(mem.read_block(0).unwrap(), pattern(1));
+        assert_eq!(mem.metrics_snapshot().cache.foreign_purges, 2);
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn rekey_drops_every_cached_page() {
+        let mem = layer(130);
+        mem.batch_write(&[(0, pattern(1)), (64, pattern(2))]).unwrap();
+        let _ = mem.batch_read(&[0, 64]).unwrap();
+        mem.rekey([0x55; 32]).unwrap();
+        let snap = mem.metrics_snapshot();
+        assert_eq!(snap.cache.invalidated(CacheCause::Rekey), 2);
+        assert_eq!(snap.cache.resident_pages, 0);
+        // Reads after the sweep verify under the new key and refill.
+        assert_eq!(mem.read_block(0).unwrap(), pattern(1));
+        assert_eq!(mem.metrics_snapshot().cache.misses, 3);
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn cache_disabled_counts_bypasses_and_still_verifies() {
+        use crate::metrics::MemStage;
+        let opts = LayerOptions {
+            cache_pages: 0,
+            ..LayerOptions::default()
+        };
+        let mem =
+            EncryptionLayer::with_options(VecBackend::for_blocks(130), 130, MASTER, opts).unwrap();
+        mem.write_block(0, &pattern(1)).unwrap();
+        assert_eq!(mem.read_block(0).unwrap(), pattern(1));
+        assert_eq!(mem.read_block(0).unwrap(), pattern(1));
+        let snap = mem.metrics_snapshot();
+        assert_eq!(snap.cache.bypasses, 2);
+        assert_eq!(snap.cache.hits + snap.cache.partial_hits + snap.cache.misses, 0);
+        // Two identical reads, two full verification chains.
+        assert_eq!(snap.op(MemOp::Read).stages[MemStage::TreeWalk as usize].count(), 2);
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn tiny_cache_evicts_but_keeps_serving_correctly() {
+        let blocks = 4 * PAGE_BLOCKS;
+        let opts = LayerOptions {
+            cache_pages: 2,
+            shards: 1,
+            ..LayerOptions::default()
+        };
+        let mem =
+            EncryptionLayer::with_options(VecBackend::for_blocks(blocks), blocks, MASTER, opts)
+                .unwrap();
+        for page in 0..4u64 {
+            mem.write_block(page * PAGE_BLOCKS, &pattern(page as u8)).unwrap();
+        }
+        for round in 0..3 {
+            for page in 0..4u64 {
+                assert_eq!(
+                    mem.read_block(page * PAGE_BLOCKS).unwrap(),
+                    pattern(page as u8),
+                    "round {round}"
+                );
+            }
+        }
+        let snap = mem.metrics_snapshot();
+        assert!(snap.cache.evictions > 0, "4 hot pages must not fit in 2 slots");
+        assert!(snap.cache.resident_pages <= 2);
+        assert_eq!(snap.cache.fills, snap.cache.misses);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod adt;
+pub mod cache;
 pub mod dump;
 pub mod error;
 pub mod flight;
@@ -53,13 +54,14 @@ pub mod metrics;
 pub mod store;
 
 pub use adt::{Block, MemoryAdt, BLOCK_BYTES};
+pub use cache::ClockCache;
 pub use dump::{write_atomic, DumpBundle, DumpContext, DumpCounts, DUMP_SCHEMA};
 pub use error::{IntegrityError, MemError, TamperClass};
 pub use flight::{FlightKind, FlightRecorder, BURST_FLOOR, FLIGHT_CAPACITY, FLIGHT_KINDS, SLOW_LOCK_NS};
 pub use geometry::{Geometry, Region, NODE_ARITY, PAGE_BLOCKS};
-pub use layer::{EncryptionLayer, LayerOptions, RekeyReport};
+pub use layer::{EncryptionLayer, LayerOptions, RekeyReport, DEFAULT_CACHE_PAGES};
 pub use metrics::{
-    MemMetrics, MemMetricsSnapshot, MemOp, MemStage, OpStats, RekeyStats, Stamp, StoreMetrics,
-    StoreStats, MEM_OPS, MEM_STAGES,
+    CacheCause, CacheStats, MemMetrics, MemMetricsSnapshot, MemOp, MemStage, OpStats, RekeyStats,
+    Stamp, StoreMetrics, StoreStats, CACHE_CAUSES, MEM_OPS, MEM_STAGES,
 };
 pub use store::{FileBackend, StoreBackend, StoredWord, VecBackend, WORD_BYTES};

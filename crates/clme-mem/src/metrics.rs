@@ -154,8 +154,12 @@ pub struct StoreStats {
     pub page_cache_hits: u64,
     /// File-backend page-cache misses (each one is a file read).
     pub page_cache_misses: u64,
-    /// Cache fills that displaced a different live page.
+    /// Cache fills that displaced a different live page (both causes).
     pub page_cache_evictions: u64,
+    /// Evictions caused by a read-miss fill.
+    pub page_cache_read_fill_evictions: u64,
+    /// Evictions caused by a write-allocate fill.
+    pub page_cache_write_fill_evictions: u64,
     /// Positioned file reads issued.
     pub file_reads: u64,
     /// Positioned file writes issued.
@@ -181,8 +185,113 @@ impl StoreStats {
             page_cache_hits: self.page_cache_hits - base.page_cache_hits,
             page_cache_misses: self.page_cache_misses - base.page_cache_misses,
             page_cache_evictions: self.page_cache_evictions - base.page_cache_evictions,
+            page_cache_read_fill_evictions: self.page_cache_read_fill_evictions
+                - base.page_cache_read_fill_evictions,
+            page_cache_write_fill_evictions: self.page_cache_write_fill_evictions
+                - base.page_cache_write_fill_evictions,
             file_reads: self.file_reads - base.file_reads,
             file_writes: self.file_writes - base.file_writes,
+        }
+    }
+}
+
+/// Why the verified-page cache dropped entries. The discriminants are
+/// the on-wire `a` codes of [`FlightKind::CachePurge`](crate::FlightKind)
+/// events, so they are append-only like the kinds themselves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CacheCause {
+    /// A `batch_write` invalidated the page it mutated.
+    Write = 0,
+    /// A rekey sweep retired the key every entry was verified under.
+    Rekey = 1,
+    /// An integrity error made every cached verification suspect.
+    Tamper = 2,
+    /// The backend's write generation moved without the layer writing —
+    /// someone else touched the store underneath us.
+    Foreign = 3,
+}
+
+/// Number of [`CacheCause`]s.
+pub const CACHE_CAUSES: usize = 4;
+
+impl CacheCause {
+    /// All causes, discriminant order.
+    pub const ALL: [CacheCause; CACHE_CAUSES] = [
+        CacheCause::Write,
+        CacheCause::Rekey,
+        CacheCause::Tamper,
+        CacheCause::Foreign,
+    ];
+
+    /// Stable lower-case name (label value in the Prometheus output).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheCause::Write => "write",
+            CacheCause::Rekey => "rekey",
+            CacheCause::Tamper => "tamper",
+            CacheCause::Foreign => "foreign",
+        }
+    }
+
+    /// The stable flight-event code.
+    pub fn code(self) -> u64 {
+        self as u64
+    }
+}
+
+/// Verified-page cache counters out of [`MemMetrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Page visits fully served from the cache (no store I/O, no MAC).
+    pub hits: u64,
+    /// Page visits that reused the verified counter block but had to
+    /// fetch some blocks (tree walk skipped, block MACs still checked).
+    pub partial_hits: u64,
+    /// Page visits that found nothing and ran the full verification.
+    pub misses: u64,
+    /// Entries inserted or extended after a verified fetch.
+    pub fills: u64,
+    /// Entries displaced by the CLOCK policy to stay within capacity.
+    pub evictions: u64,
+    /// Page visits that skipped the cache (layer configured with
+    /// `cache_pages = 0`).
+    pub bypasses: u64,
+    /// Entries dropped, by [`CacheCause`] (discriminant order).
+    pub invalidations: [u64; CACHE_CAUSES],
+    /// Whole-cache purges forced by a foreign write generation.
+    pub foreign_purges: u64,
+    /// Pages resident when the snapshot was taken (gauge).
+    pub resident_pages: u64,
+}
+
+impl CacheStats {
+    /// Full-hit rate over all cache-consulting page visits, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.partial_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Entries dropped for `cause`.
+    pub fn invalidated(&self, cause: CacheCause) -> u64 {
+        self.invalidations[cause as usize]
+    }
+
+    fn delta_since(&self, base: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - base.hits,
+            partial_hits: self.partial_hits - base.partial_hits,
+            misses: self.misses - base.misses,
+            fills: self.fills - base.fills,
+            evictions: self.evictions - base.evictions,
+            bypasses: self.bypasses - base.bypasses,
+            invalidations: core::array::from_fn(|i| self.invalidations[i] - base.invalidations[i]),
+            foreign_purges: self.foreign_purges - base.foreign_purges,
+            resident_pages: self.resident_pages,
         }
     }
 }
@@ -226,6 +335,14 @@ pub struct MemMetricsSnapshot {
     pub observed_writes_max_page: u64,
     /// Rekey progress and key-age gauges.
     pub rekey: RekeyStats,
+    /// Verified-page cache counters.
+    pub cache: CacheStats,
+    /// Blocks-per-page-visit distribution of batch reads. Recorded as
+    /// raw block counts scaled by 1000, so the histogram's "ns" fields
+    /// read directly as block counts.
+    pub fanin_read: Log2Histogram,
+    /// Blocks-per-page-visit distribution of batch writes (same scale).
+    pub fanin_write: Log2Histogram,
     /// Backend counters (zero if the backend keeps none).
     pub store: StoreStats,
 }
@@ -239,6 +356,19 @@ fn hist_json(h: &Log2Histogram) -> JsonValue {
         ("p99_ns".into(), JsonValue::Num(ns(h.percentile_ps(0.99)))),
         ("mean_ns".into(), JsonValue::Num(h.mean_ps() / 1000.0)),
         ("max_ns".into(), JsonValue::Num(ns(h.max_ps()))),
+    ])
+}
+
+fn fanin_json(h: &Log2Histogram) -> JsonValue {
+    // Fan-in histograms store blocks × 1000 in the picosecond slots, so
+    // dividing the "ps" accessors by 1000 recovers plain block counts.
+    let blocks = |ps: u64| ps as f64 / 1000.0;
+    JsonValue::Obj(vec![
+        ("count".into(), JsonValue::Num(h.count() as f64)),
+        ("p50_blocks".into(), JsonValue::Num(blocks(h.percentile_ps(0.50)))),
+        ("p99_blocks".into(), JsonValue::Num(blocks(h.percentile_ps(0.99)))),
+        ("mean_blocks".into(), JsonValue::Num(h.mean_ps() / 1000.0)),
+        ("max_blocks".into(), JsonValue::Num(blocks(h.max_ps()))),
     ])
 }
 
@@ -300,6 +430,9 @@ impl MemMetricsSnapshot {
             observed_writes_max: self.observed_writes_max,
             observed_writes_max_page: self.observed_writes_max_page,
             rekey: self.rekey.clone(),
+            cache: self.cache.delta_since(&base.cache),
+            fanin_read: self.fanin_read.delta_since(&base.fanin_read),
+            fanin_write: self.fanin_write.delta_since(&base.fanin_write),
             store: self.store.delta_since(&base.store),
         }
     }
@@ -400,6 +533,47 @@ impl MemMetricsSnapshot {
                 ]),
             ),
             (
+                "verify_cache".into(),
+                JsonValue::Obj(vec![
+                    ("hits".into(), JsonValue::Num(self.cache.hits as f64)),
+                    ("partial_hits".into(), JsonValue::Num(self.cache.partial_hits as f64)),
+                    ("misses".into(), JsonValue::Num(self.cache.misses as f64)),
+                    ("hit_rate".into(), JsonValue::Num(self.cache.hit_rate())),
+                    ("fills".into(), JsonValue::Num(self.cache.fills as f64)),
+                    ("evictions".into(), JsonValue::Num(self.cache.evictions as f64)),
+                    ("bypasses".into(), JsonValue::Num(self.cache.bypasses as f64)),
+                    (
+                        "invalidations".into(),
+                        JsonValue::Obj(
+                            CacheCause::ALL
+                                .iter()
+                                .map(|&c| {
+                                    (
+                                        c.name().into(),
+                                        JsonValue::Num(self.cache.invalidated(c) as f64),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "foreign_purges".into(),
+                        JsonValue::Num(self.cache.foreign_purges as f64),
+                    ),
+                    (
+                        "resident_pages".into(),
+                        JsonValue::Num(self.cache.resident_pages as f64),
+                    ),
+                ]),
+            ),
+            (
+                "fanin".into(),
+                JsonValue::Obj(vec![
+                    ("read".into(), fanin_json(&self.fanin_read)),
+                    ("write".into(), fanin_json(&self.fanin_write)),
+                ]),
+            ),
+            (
                 "store".into(),
                 JsonValue::Obj(vec![
                     ("words_read".into(), JsonValue::Num(self.store.words_read as f64)),
@@ -415,6 +589,14 @@ impl MemMetricsSnapshot {
                     (
                         "page_cache_evictions".into(),
                         JsonValue::Num(self.store.page_cache_evictions as f64),
+                    ),
+                    (
+                        "page_cache_read_fill_evictions".into(),
+                        JsonValue::Num(self.store.page_cache_read_fill_evictions as f64),
+                    ),
+                    (
+                        "page_cache_write_fill_evictions".into(),
+                        JsonValue::Num(self.store.page_cache_write_fill_evictions as f64),
                     ),
                     (
                         "page_cache_hit_rate".into(),
@@ -467,9 +649,18 @@ impl Stamp {
 #[cfg(not(feature = "telemetry-off"))]
 const SAMPLE_EVERY: u64 = 8;
 
+/// The read path's own, rarer period: with the verified-page cache a
+/// hot read page-visit finishes in a couple hundred nanoseconds, so
+/// even at 1-in-8 its probe set (lock stamps, fan-in, flight ring) is
+/// visible against the 3% telemetry budget. 1-in-64 keeps every
+/// distribution populated under real traffic at ~1/8 the cost.
+#[cfg(not(feature = "telemetry-off"))]
+const READ_SAMPLE_EVERY: u64 = 64;
+
 #[cfg(not(feature = "telemetry-off"))]
 thread_local! {
     static SAMPLE_TICK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static READ_SAMPLE_TICK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 #[cfg(not(feature = "telemetry-off"))]
@@ -502,6 +693,17 @@ pub struct MemMetrics {
     observed: Vec<AtomicU64>,
     observed_max: Arc<Gauge>,
     observed_max_page: Arc<Gauge>,
+    cache_hits: Arc<Counter>,
+    cache_partial_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_fills: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    cache_bypasses: Arc<Counter>,
+    cache_invalidations: [Arc<Counter>; CACHE_CAUSES],
+    cache_foreign_purges: Arc<Counter>,
+    cache_resident: Arc<Gauge>,
+    fanin_read: Arc<ShardedHistogram>,
+    fanin_write: Arc<ShardedHistogram>,
     rekey_sweeps: Arc<Counter>,
     rekey_pages_total: Arc<Gauge>,
     rekey_pages_done: Arc<Gauge>,
@@ -600,6 +802,61 @@ impl MemMetrics {
                 "clme_mem_ciphertext_writes_max_page",
                 "page with the largest observation count",
             ),
+            cache_hits: counter(
+                "clme_mem_cache_hits_total",
+                "page visits fully served from the verified-page cache",
+            ),
+            cache_partial_hits: counter(
+                "clme_mem_cache_partial_hits_total",
+                "page visits reusing a cached counter block but fetching blocks",
+            ),
+            cache_misses: counter(
+                "clme_mem_cache_misses_total",
+                "page visits running the full verification chain",
+            ),
+            cache_fills: counter(
+                "clme_mem_cache_fills_total",
+                "verified-page cache entries inserted or extended",
+            ),
+            cache_evictions: counter(
+                "clme_mem_cache_evictions_total",
+                "verified-page cache entries displaced by the CLOCK policy",
+            ),
+            cache_bypasses: counter(
+                "clme_mem_cache_bypasses_total",
+                "page visits with the verified-page cache disabled",
+            ),
+            cache_invalidations: core::array::from_fn(|i| {
+                registry
+                    .counter(
+                        "clme_mem_cache_invalidations_total",
+                        "verified-page cache entries dropped, by cause",
+                        &[("cause", CacheCause::ALL[i].name())],
+                    )
+                    .expect(ok)
+            }),
+            cache_foreign_purges: counter(
+                "clme_mem_cache_foreign_purges_total",
+                "whole-cache purges forced by a foreign write generation",
+            ),
+            cache_resident: gauge(
+                "clme_mem_cache_resident_pages",
+                "pages resident in the verified-page cache",
+            ),
+            fanin_read: registry
+                .histogram(
+                    "clme_mem_batch_fanin_blocks",
+                    "blocks per page visit (recorded as blocks x 1000)",
+                    &[("op", "read")],
+                )
+                .expect(ok),
+            fanin_write: registry
+                .histogram(
+                    "clme_mem_batch_fanin_blocks",
+                    "blocks per page visit (recorded as blocks x 1000)",
+                    &[("op", "write")],
+                )
+                .expect(ok),
             rekey_sweeps: counter("clme_mem_rekey_sweeps_total", "completed rekey sweeps"),
             rekey_pages_total: gauge("clme_mem_rekey_pages", "pages in the current/last sweep"),
             rekey_pages_done: gauge("clme_mem_rekey_pages_done", "pages swept so far"),
@@ -638,6 +895,21 @@ impl MemMetrics {
         })
     }
 
+    /// The read path's sampling decision: same shape as
+    /// [`sample`](Self::sample) but on its own tick with the rarer
+    /// [`READ_SAMPLE_EVERY`] period, because a cache-served read visit
+    /// is an order of magnitude faster than anything on the write
+    /// path. The first call on each thread still fires, so even a
+    /// short single-threaded run populates every read-side histogram.
+    #[inline]
+    pub fn sample_read(&self) -> bool {
+        READ_SAMPLE_TICK.with(|tick| {
+            let t = tick.get();
+            tick.set(t.wrapping_add(1));
+            t % READ_SAMPLE_EVERY == 0
+        })
+    }
+
     /// Records a shard-lock wait interval.
     #[inline]
     pub fn lock_wait(&self, shard: usize, from: Stamp, to: Stamp) {
@@ -661,6 +933,16 @@ impl MemMetrics {
     #[inline]
     pub fn op_duration(&self, op: MemOp, d: Duration) {
         self.ops[op as usize].latency.record_duration(d);
+    }
+
+    /// Records `n` op latencies of the same duration in one atomic
+    /// pass: a cache-served page visit answers all its blocks from one
+    /// measured interval, and one weighted record keeps the latency
+    /// count exhaustive (one sample per block) without paying the
+    /// histogram three RMWs per block on the hottest path.
+    #[inline]
+    pub fn op_duration_n(&self, op: MemOp, d: Duration, n: u64) {
+        self.ops[op as usize].latency.record_duration_n(d, n);
     }
 
     /// Records a stage latency from a stamp pair.
@@ -731,6 +1013,72 @@ impl MemMetrics {
             .get(page as usize)
             .map(|s| s.load(Ordering::Relaxed))
             .unwrap_or(0)
+    }
+
+    /// A page visit was fully served from the verified-page cache.
+    #[inline]
+    pub fn cache_hit(&self) {
+        self.cache_hits.inc();
+    }
+
+    /// A page visit reused the cached counter block but fetched blocks.
+    #[inline]
+    pub fn cache_partial_hit(&self) {
+        self.cache_partial_hits.inc();
+    }
+
+    /// A page visit found nothing cached and verified from the root.
+    #[inline]
+    pub fn cache_miss(&self) {
+        self.cache_misses.inc();
+    }
+
+    /// A verified-page cache entry was inserted or extended.
+    #[inline]
+    pub fn cache_fill(&self) {
+        self.cache_fills.inc();
+    }
+
+    /// The CLOCK policy displaced a resident entry.
+    #[inline]
+    pub fn cache_evict(&self) {
+        self.cache_evictions.inc();
+    }
+
+    /// A page visit skipped the cache because it is disabled.
+    #[inline]
+    pub fn cache_bypass(&self) {
+        self.cache_bypasses.inc();
+    }
+
+    /// `entries` cache entries were dropped for `cause`.
+    #[inline]
+    pub fn cache_invalidated(&self, cause: CacheCause, entries: u64) {
+        self.cache_invalidations[cause as usize].add(entries);
+        if cause == CacheCause::Foreign {
+            self.cache_foreign_purges.inc();
+        }
+    }
+
+    /// Publishes the cache's current resident-page count.
+    #[inline]
+    pub fn set_cache_resident(&self, pages: u64) {
+        self.cache_resident.set(pages);
+    }
+
+    /// One batch-read page visit touched `blocks` blocks.
+    #[inline]
+    pub fn fanin_read(&self, blocks: u64) {
+        // The layer calls this under its per-page-visit sampling
+        // decision: fan-in is a shape, not a count, and recording every
+        // visit is budget-visible once the cache serves hot reads.
+        self.fanin_read.record_ps(blocks.saturating_mul(1000));
+    }
+
+    /// One batch-write page visit touched `blocks` blocks.
+    #[inline]
+    pub fn fanin_write(&self, blocks: u64) {
+        self.fanin_write.record_ps(blocks.saturating_mul(1000));
     }
 
     /// A rekey sweep over `pages` pages is starting (locks held).
@@ -814,6 +1162,19 @@ impl MemMetrics {
                 last_sweep_ms: self.rekey_last_ms.get(),
                 last_old_key_dwell_ms: self.old_key_dwell_ms.get(),
             },
+            cache: CacheStats {
+                hits: self.cache_hits.get(),
+                partial_hits: self.cache_partial_hits.get(),
+                misses: self.cache_misses.get(),
+                fills: self.cache_fills.get(),
+                evictions: self.cache_evictions.get(),
+                bypasses: self.cache_bypasses.get(),
+                invalidations: core::array::from_fn(|i| self.cache_invalidations[i].get()),
+                foreign_purges: self.cache_foreign_purges.get(),
+                resident_pages: self.cache_resident.get(),
+            },
+            fanin_read: self.fanin_read.merge(),
+            fanin_write: self.fanin_write.merge(),
             store: store.map(|s| s.snapshot()).unwrap_or_default(),
         }
     }
@@ -841,6 +1202,8 @@ pub struct StoreMetrics {
     page_cache_hits: Arc<Counter>,
     page_cache_misses: Arc<Counter>,
     page_cache_evictions: Arc<Counter>,
+    page_cache_read_fill_evictions: Arc<Counter>,
+    page_cache_write_fill_evictions: Arc<Counter>,
     file_reads: Arc<Counter>,
     file_writes: Arc<Counter>,
 }
@@ -861,6 +1224,20 @@ impl StoreMetrics {
                 "clme_store_page_cache_evictions_total",
                 "cache fills displacing a live page",
             ),
+            page_cache_read_fill_evictions: registry
+                .counter(
+                    "clme_store_page_cache_fill_evictions_total",
+                    "cache-fill evictions, by the filling side",
+                    &[("fill", "read")],
+                )
+                .expect(ok),
+            page_cache_write_fill_evictions: registry
+                .counter(
+                    "clme_store_page_cache_fill_evictions_total",
+                    "cache-fill evictions, by the filling side",
+                    &[("fill", "write")],
+                )
+                .expect(ok),
             file_reads: counter("clme_store_file_reads_total", "positioned file reads"),
             file_writes: counter("clme_store_file_writes_total", "positioned file writes"),
             registry,
@@ -885,12 +1262,21 @@ impl StoreMetrics {
         self.page_cache_hits.inc();
     }
 
-    /// A page-cache miss; `evicted` when the fill displaced a live page.
+    /// A page-cache miss.
     #[inline]
-    pub fn cache_miss(&self, evicted: bool) {
+    pub fn cache_miss(&self) {
         self.page_cache_misses.inc();
-        if evicted {
-            self.page_cache_evictions.inc();
+    }
+
+    /// A cache fill displaced a live page; `write_fill` says whether the
+    /// filling side was a write-allocate (vs a read-miss fill).
+    #[inline]
+    pub fn cache_evicted(&self, write_fill: bool) {
+        self.page_cache_evictions.inc();
+        if write_fill {
+            self.page_cache_write_fill_evictions.inc();
+        } else {
+            self.page_cache_read_fill_evictions.inc();
         }
     }
 
@@ -914,6 +1300,8 @@ impl StoreMetrics {
             page_cache_hits: self.page_cache_hits.get(),
             page_cache_misses: self.page_cache_misses.get(),
             page_cache_evictions: self.page_cache_evictions.get(),
+            page_cache_read_fill_evictions: self.page_cache_read_fill_evictions.get(),
+            page_cache_write_fill_evictions: self.page_cache_write_fill_evictions.get(),
             file_reads: self.file_reads.get(),
             file_writes: self.file_writes.get(),
         }
@@ -975,12 +1363,20 @@ impl MemMetrics {
     pub fn sample(&self) -> bool {
         false
     }
+    /// Always false: no probe ever fires.
+    #[inline(always)]
+    pub fn sample_read(&self) -> bool {
+        false
+    }
     /// No-op.
     #[inline(always)]
     pub fn op_between(&self, _op: MemOp, _from: Stamp, _to: Stamp) {}
     /// No-op.
     #[inline(always)]
     pub fn op_duration(&self, _op: MemOp, _d: Duration) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn op_duration_n(&self, _op: MemOp, _d: Duration, _n: u64) {}
     /// No-op.
     #[inline(always)]
     pub fn stage_between(&self, _op: MemOp, _stage: MemStage, _from: Stamp, _to: Stamp) {}
@@ -1014,6 +1410,36 @@ impl MemMetrics {
     pub fn observed_writes(&self, _page: u64) -> u64 {
         0
     }
+    /// No-op.
+    #[inline(always)]
+    pub fn cache_hit(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn cache_partial_hit(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn cache_miss(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn cache_fill(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn cache_evict(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn cache_bypass(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn cache_invalidated(&self, _cause: CacheCause, _entries: u64) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn set_cache_resident(&self, _pages: u64) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn fanin_read(&self, _blocks: u64) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn fanin_write(&self, _blocks: u64) {}
     /// No-op.
     pub fn rekey_begin(&self, _pages: u64) {}
     /// No-op.
@@ -1056,7 +1482,10 @@ impl StoreMetrics {
     pub fn cache_hit(&self) {}
     /// No-op.
     #[inline(always)]
-    pub fn cache_miss(&self, _evicted: bool) {}
+    pub fn cache_miss(&self) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn cache_evicted(&self, _write_fill: bool) {}
     /// No-op.
     #[inline(always)]
     pub fn file_read(&self) {}
@@ -1168,13 +1597,69 @@ mod tests {
         let m = MemMetrics::new(2, 4);
         let s = StoreMetrics::new();
         s.cache_hit();
-        s.cache_miss(true);
+        s.cache_miss();
+        s.cache_evicted(false);
         m.note_write_batch(3);
         let text = clme_obs::prom::render(&m.prom_samples(Some(&s)));
         assert!(text.contains("clme_mem_blocks_written_total 3\n"), "{text}");
         assert!(text.contains("clme_store_page_cache_hits_total 1\n"));
         assert!(text.contains("clme_store_page_cache_evictions_total 1\n"));
+        assert!(text.contains("clme_store_page_cache_fill_evictions_total{fill=\"read\"} 1\n"));
         assert!(text.contains("# TYPE clme_mem_lock_wait_ps histogram"));
         assert!(text.contains("clme_mem_rekey_in_progress 0\n"));
+        assert!(text.contains("clme_mem_cache_invalidations_total{cause=\"rekey\"} 0\n"));
+    }
+
+    #[test]
+    fn cache_counters_snapshot_and_delta() {
+        let m = MemMetrics::new(2, 4);
+        m.cache_hit();
+        m.cache_hit();
+        m.cache_partial_hit();
+        m.cache_miss();
+        m.cache_fill();
+        m.cache_evict();
+        m.cache_bypass();
+        m.cache_invalidated(CacheCause::Write, 1);
+        m.cache_invalidated(CacheCause::Foreign, 5);
+        m.set_cache_resident(3);
+        m.fanin_read(8);
+        m.fanin_write(64);
+        let snap = m.snapshot(None);
+        assert_eq!(snap.cache.hits, 2);
+        assert_eq!(snap.cache.partial_hits, 1);
+        assert_eq!(snap.cache.misses, 1);
+        assert_eq!(snap.cache.fills, 1);
+        assert_eq!(snap.cache.evictions, 1);
+        assert_eq!(snap.cache.bypasses, 1);
+        assert_eq!(snap.cache.invalidated(CacheCause::Write), 1);
+        assert_eq!(snap.cache.invalidated(CacheCause::Foreign), 5);
+        assert_eq!(snap.cache.invalidated(CacheCause::Rekey), 0);
+        assert_eq!(snap.cache.foreign_purges, 1);
+        assert_eq!(snap.cache.resident_pages, 3);
+        assert!((snap.cache.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(snap.fanin_read.count(), 1);
+        assert_eq!(snap.fanin_write.count(), 1);
+        // Scaled storage: "ps" percentiles divide back to block counts.
+        assert!(snap.fanin_write.percentile_ps(0.5) as f64 / 1000.0 >= 64.0);
+
+        m.cache_hit();
+        let delta = m.snapshot(None).delta_since(&snap);
+        assert_eq!(delta.cache.hits, 1);
+        assert_eq!(delta.cache.misses, 0);
+        assert_eq!(delta.cache.resident_pages, 3, "gauge keeps its level");
+
+        let json = m.snapshot(None).to_json().to_pretty();
+        for key in [
+            "\"verify_cache\"",
+            "\"partial_hits\"",
+            "\"foreign_purges\"",
+            "\"resident_pages\"",
+            "\"fanin\"",
+            "\"mean_blocks\"",
+            "\"page_cache_read_fill_evictions\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
     }
 }

@@ -7,11 +7,13 @@
 //! also what makes them the attacker's surface — a tamper test (or a
 //! bus adversary) flips bytes here, below the encryption layer.
 
+use crate::cache::ClockCache;
 use crate::error::MemError;
 use crate::geometry::Geometry;
 use crate::metrics::StoreMetrics;
 use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError, RwLock};
 
 /// Bytes per stored word: 64 payload + 8 MAC lane + 8 parity lane.
@@ -44,6 +46,18 @@ pub trait StoreBackend: Send + Sync {
     fn kind(&self) -> &'static str {
         "unknown"
     }
+
+    /// A counter that advances on **every** successful `write_word`,
+    /// regardless of who called it. The encryption layer compares it
+    /// against its own write count to detect *foreign* writes — a
+    /// tamper harness or bus adversary mutating words underneath the
+    /// layer — and purges its verified-page cache when they differ,
+    /// so cached plaintext can never mask a store-level flip. `None`
+    /// (the default) means the backend keeps no such counter and the
+    /// layer must bypass its cache entirely.
+    fn write_generation(&self) -> Option<u64> {
+        None
+    }
 }
 
 fn check_bounds(index: u64, limit: u64) -> Result<(), MemError> {
@@ -66,6 +80,7 @@ const VEC_SEGMENTS: usize = 16;
 pub struct VecBackend {
     segments: Vec<RwLock<Vec<StoredWord>>>,
     words: u64,
+    generation: AtomicU64,
     metrics: StoreMetrics,
 }
 
@@ -81,6 +96,7 @@ impl VecBackend {
         VecBackend {
             segments,
             words,
+            generation: AtomicU64::new(0),
             metrics: StoreMetrics::new(),
         }
     }
@@ -117,6 +133,9 @@ impl StoreBackend for VecBackend {
     fn write_word(&self, index: u64, word: &StoredWord) -> Result<(), MemError> {
         check_bounds(index, self.words)?;
         self.metrics.word_written();
+        // SeqCst so the layer's gen-then-self-count read order gives a
+        // foreign-write estimate that never exceeds the true count.
+        self.generation.fetch_add(1, Ordering::SeqCst);
         let (seg, pos) = self.locate(index);
         let mut guard = self.segments[seg]
             .write()
@@ -132,6 +151,10 @@ impl StoreBackend for VecBackend {
     fn kind(&self) -> &'static str {
         "vec"
     }
+
+    fn write_generation(&self) -> Option<u64> {
+        Some(self.generation.load(Ordering::SeqCst))
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -141,16 +164,24 @@ impl StoreBackend for VecBackend {
 /// Stored words per cached file page (one 5 KB run of the file).
 pub const FILE_PAGE_WORDS: u64 = 64;
 
-/// Cache slots: direct-mapped by page index.
-const FILE_CACHE_SLOTS: usize = 64;
+/// Resident pages the file cache holds (same total footprint as the old
+/// direct-mapped design, but CLOCK-managed so hot pages survive
+/// conflict misses).
+const FILE_CACHE_PAGES: usize = 64;
 
-struct CachedPage {
-    page: u64,
-    bytes: Vec<u8>,
-}
+/// Shards of the file page cache's [`ClockCache`].
+const FILE_CACHE_SHARDS: usize = 8;
+
+/// Page-coherence stripes: all I/O for a page serialises on
+/// `stripes[page % FILE_STRIPES]` so a racing read-miss fill can never
+/// install bytes staler than a concurrent write-through.
+const FILE_STRIPES: usize = 16;
 
 /// An mmap-style paged file store: words live in a flat file, accessed
-/// through positioned I/O with a direct-mapped write-through page cache.
+/// through positioned I/O with a write-through, write-allocate page
+/// cache evicted by the crate-wide sharded CLOCK policy
+/// ([`ClockCache`]) — the same machinery behind the encryption layer's
+/// verified-page cache.
 ///
 /// Dropping the backend does **not** delete the file; reopen it with
 /// [`FileBackend::open`] (and re-attach the layer with its saved root)
@@ -159,7 +190,9 @@ pub struct FileBackend {
     file: File,
     path: PathBuf,
     words: u64,
-    cache: Vec<Mutex<Option<CachedPage>>>,
+    cache: ClockCache<Vec<u8>>,
+    stripes: Vec<Mutex<()>>,
+    generation: AtomicU64,
     metrics: StoreMetrics,
 }
 
@@ -201,12 +234,13 @@ impl FileBackend {
     }
 
     fn wrap(file: File, path: PathBuf, words: u64) -> FileBackend {
-        let cache = (0..FILE_CACHE_SLOTS).map(|_| Mutex::new(None)).collect();
         FileBackend {
             file,
             path,
             words,
-            cache,
+            cache: ClockCache::new(FILE_CACHE_SHARDS, FILE_CACHE_PAGES),
+            stripes: (0..FILE_STRIPES).map(|_| Mutex::new(())).collect(),
+            generation: AtomicU64::new(0),
             metrics: StoreMetrics::new(),
         }
     }
@@ -220,6 +254,27 @@ impl FileBackend {
         let first = page * FILE_PAGE_WORDS;
         let words = (self.words - first).min(FILE_PAGE_WORDS);
         words as usize * WORD_BYTES
+    }
+
+    fn stripe(&self, page: u64) -> std::sync::MutexGuard<'_, ()> {
+        self.stripes[(page % FILE_STRIPES as u64) as usize]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Reads the whole page from the file and installs it, counting the
+    /// fill eviction (if any) against the `write_fill` side. Returns the
+    /// fresh page bytes' word at `within`. Caller holds the page stripe.
+    fn fill_page(&self, page: u64, within: usize, write_fill: bool) -> Result<StoredWord, MemError> {
+        let mut bytes = vec![0u8; self.page_len(page)];
+        self.metrics.file_read();
+        self.read_at(&mut bytes, page * FILE_PAGE_WORDS * WORD_BYTES as u64)?;
+        let mut word = [0u8; WORD_BYTES];
+        word.copy_from_slice(&bytes[within..within + WORD_BYTES]);
+        if self.cache.insert(page, bytes).is_some() {
+            self.metrics.cache_evicted(write_fill);
+        }
+        Ok(word)
     }
 
     fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<(), MemError> {
@@ -265,46 +320,46 @@ impl StoreBackend for FileBackend {
         self.metrics.word_read();
         let page = index / FILE_PAGE_WORDS;
         let within = (index % FILE_PAGE_WORDS) as usize * WORD_BYTES;
-        let slot = (page % FILE_CACHE_SLOTS as u64) as usize;
-        let mut guard = self.cache[slot]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        let cached = match guard.as_ref() {
-            Some(c) if c.page == page => {
-                self.metrics.cache_hit();
-                guard.as_ref().unwrap()
-            }
-            resident => {
-                self.metrics.cache_miss(resident.is_some());
-                let mut bytes = vec![0u8; self.page_len(page)];
-                self.metrics.file_read();
-                self.read_at(&mut bytes, page * FILE_PAGE_WORDS * WORD_BYTES as u64)?;
-                *guard = Some(CachedPage { page, bytes });
-                guard.as_ref().unwrap()
-            }
-        };
-        let mut word = [0u8; WORD_BYTES];
-        word.copy_from_slice(&cached.bytes[within..within + WORD_BYTES]);
-        Ok(word)
+        // Same-page operations serialise on the stripe so a miss fill
+        // cannot install bytes older than a concurrent write-through.
+        let _stripe = self.stripe(page);
+        let hit = self.cache.with(page, |bytes| {
+            let mut word = [0u8; WORD_BYTES];
+            word.copy_from_slice(&bytes[within..within + WORD_BYTES]);
+            word
+        });
+        if let Some(word) = hit {
+            self.metrics.cache_hit();
+            return Ok(word);
+        }
+        self.metrics.cache_miss();
+        self.fill_page(page, within, false)
     }
 
     fn write_word(&self, index: u64, word: &StoredWord) -> Result<(), MemError> {
         check_bounds(index, self.words)?;
         self.metrics.word_written();
+        self.generation.fetch_add(1, Ordering::SeqCst);
         let page = index / FILE_PAGE_WORDS;
         let within = (index % FILE_PAGE_WORDS) as usize * WORD_BYTES;
-        let slot = (page % FILE_CACHE_SLOTS as u64) as usize;
-        // Hold the slot lock across file and cache updates so a racing
-        // reader of the same slot never caches stale bytes.
-        let mut guard = self.cache[slot]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        // Hold the page stripe across file and cache updates so a racing
+        // reader of the same page never caches stale bytes.
+        let _stripe = self.stripe(page);
         self.metrics.file_write();
         self.write_at(word, index * WORD_BYTES as u64)?;
-        if let Some(cached) = guard.as_mut() {
-            if cached.page == page {
-                cached.bytes[within..within + WORD_BYTES].copy_from_slice(word);
-            }
+        let resident = self
+            .cache
+            .with_mut(page, |bytes| {
+                bytes[within..within + WORD_BYTES].copy_from_slice(word)
+            })
+            .is_some();
+        if resident {
+            self.metrics.cache_hit();
+        } else {
+            // Write-allocate: the page we just touched is hot, so pull
+            // it in (the file already holds the new word).
+            self.metrics.cache_miss();
+            self.fill_page(page, within, true)?;
         }
         Ok(())
     }
@@ -315,6 +370,10 @@ impl StoreBackend for FileBackend {
 
     fn kind(&self) -> &'static str {
         "file"
+    }
+
+    fn write_generation(&self) -> Option<u64> {
+        Some(self.generation.load(Ordering::SeqCst))
     }
 }
 
@@ -382,24 +441,56 @@ mod tests {
 
     #[test]
     #[cfg(not(feature = "telemetry-off"))]
-    fn file_backend_counts_cache_hits_misses_and_evictions() {
+    fn file_backend_counts_cache_hits_misses_and_split_evictions() {
         let path = temp_path("counters");
-        // Enough pages that page FILE_CACHE_SLOTS maps back to slot 0.
-        let store =
-            FileBackend::create(&path, FILE_PAGE_WORDS * (FILE_CACHE_SLOTS as u64 + 1)).unwrap();
-        store.read_word(0).unwrap(); // cold miss, no eviction
-        store.read_word(1).unwrap(); // hit
-        store.read_word(FILE_PAGE_WORDS * FILE_CACHE_SLOTS as u64).unwrap(); // conflict miss
-        store.write_word(7, &[0x11u8; WORD_BYTES]).unwrap();
+        // Shard 0 of the CLOCK cache holds FILE_CACHE_PAGES /
+        // FILE_CACHE_SHARDS = 8 pages; pages that are multiples of 8
+        // all land there, so nine of them overflow it.
+        let per_shard = (FILE_CACHE_PAGES / FILE_CACHE_SHARDS) as u64;
+        let stride = FILE_CACHE_SHARDS as u64;
+        let store = FileBackend::create(&path, FILE_PAGE_WORDS * 73).unwrap();
+        store.read_word(0).unwrap(); // cold miss + fill, no eviction
+        store.read_word(1).unwrap(); // hit (same page)
+        store.write_word(7, &[0x11u8; WORD_BYTES]).unwrap(); // write hit, write-through
+        for i in 1..=per_shard {
+            // Pages 8, 16, ..., 64: all shard 0. The last fill evicts.
+            store.read_word(i * stride * FILE_PAGE_WORDS).unwrap();
+        }
+        // Page 72, shard 0, not resident: write-allocate evicts again.
+        store
+            .write_word(9 * stride * FILE_PAGE_WORDS, &[0x22u8; WORD_BYTES])
+            .unwrap();
         let stats = store.store_metrics().unwrap().snapshot();
-        assert_eq!(stats.page_cache_hits, 1);
-        assert_eq!(stats.page_cache_misses, 2);
-        assert_eq!(stats.page_cache_evictions, 1);
-        assert_eq!(stats.file_reads, 2);
-        assert_eq!(stats.file_writes, 1);
-        assert_eq!(stats.words_read, 3);
-        assert_eq!(stats.words_written, 1);
-        assert!((stats.page_cache_hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(stats.page_cache_hits, 2);
+        assert_eq!(stats.page_cache_misses, 10);
+        assert_eq!(stats.page_cache_evictions, 2);
+        assert_eq!(stats.page_cache_read_fill_evictions, 1);
+        assert_eq!(stats.page_cache_write_fill_evictions, 1);
+        assert_eq!(stats.file_reads, 10);
+        assert_eq!(stats.file_writes, 2);
+        assert_eq!(stats.words_read, 10);
+        assert_eq!(stats.words_written, 2);
+        assert!((stats.page_cache_hit_rate() - 2.0 / 12.0).abs() < 1e-9);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn write_generation_advances_on_every_write() {
+        let vec = VecBackend::new(16);
+        assert_eq!(vec.write_generation(), Some(0));
+        vec.write_word(3, &[1u8; WORD_BYTES]).unwrap();
+        vec.write_word(4, &[2u8; WORD_BYTES]).unwrap();
+        assert_eq!(vec.write_generation(), Some(2));
+        // Reads never advance it; failed writes don't either.
+        vec.read_word(3).unwrap();
+        assert!(vec.write_word(99, &[0u8; WORD_BYTES]).is_err());
+        assert_eq!(vec.write_generation(), Some(2));
+
+        let path = temp_path("generation");
+        let file = FileBackend::create(&path, 16).unwrap();
+        assert_eq!(file.write_generation(), Some(0));
+        file.write_word(0, &[3u8; WORD_BYTES]).unwrap();
+        assert_eq!(file.write_generation(), Some(1));
         std::fs::remove_file(&path).unwrap();
     }
 

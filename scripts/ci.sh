@@ -24,10 +24,21 @@ echo "== mem smoke (encrypted-memory library: write/read/tamper/rekey) =="
 # writes checked against a plaintext model, a byte flipped in every
 # stored-word region (each must raise a typed IntegrityError), a
 # ciphertext splice, and a full rekey() sweep. Milliseconds per run.
-cargo run --release -q --offline -p clme-bench --bin clme -- \
-    mem --smoke --blocks 256 --ops 1000
-cargo run --release -q --offline -p clme-bench --bin clme -- \
-    mem --smoke --backend file --blocks 256 --ops 1000
+# Each backend runs twice — verified-page cache on (default) and off —
+# and `clme diff --mem-stats` checks the two runs served identical
+# caller-visible traffic (read-result parity: the cache must never
+# change what a read returns, only how fast it returns it).
+for BACKEND in vec file; do
+    cargo run --release -q --offline -p clme-bench --bin clme -- \
+        mem --smoke --backend "$BACKEND" --blocks 256 --ops 1000 \
+        --cache --stats-json "/tmp/clme_smoke_${BACKEND}_cache.json"
+    cargo run --release -q --offline -p clme-bench --bin clme -- \
+        mem --smoke --backend "$BACKEND" --blocks 256 --ops 1000 \
+        --no-cache --stats-json "/tmp/clme_smoke_${BACKEND}_nocache.json"
+    cargo run --release -q --offline -p clme-bench --bin clme -- \
+        diff --mem-stats "/tmp/clme_smoke_${BACKEND}_cache.json" \
+        "/tmp/clme_smoke_${BACKEND}_nocache.json"
+done
 
 echo "== post-mortem smoke (tamper -> .clmedump -> postmortem -> replay) =="
 # The flight-recorder black box end-to-end on both backends: a forced
@@ -74,6 +85,22 @@ for METRIC in read_p99_ns write_p99_ns; do
                 printf "trend %s: %.0f ns (no previous history entry)\n", m, last
             } else {
                 printf "trend %s: %.0f ns vs %.0f ns previous (%+.1f%%)\n",
+                    m, last, prev, (last - prev) / prev * 100
+            }
+        }'
+done
+# Same non-gating idiom for bench throughput: the per-entry
+# *_blocks_per_sec keys appear once in the bench object and once per
+# bench history entry, so fewer than three matches means no previous
+# history entry to compare against.
+for METRIC in read_blocks_per_sec write_blocks_per_sec; do
+    grep -o "\"$METRIC\": [0-9.]*" BENCH_mem.json | awk -F': ' -v m="$METRIC" '
+        { prev = last; last = $2; n++ }
+        END {
+            if (n < 3 || prev + 0 == 0) {
+                printf "trend %s: %.0f blocks/s (no previous history entry)\n", m, last
+            } else {
+                printf "trend %s: %.0f vs %.0f blocks/s previous (%+.1f%%)\n",
                     m, last, prev, (last - prev) / prev * 100
             }
         }'

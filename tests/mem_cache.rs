@@ -1,0 +1,270 @@
+//! Differential tests for the verified-page read cache: a cache-on and
+//! a cache-off layer fed the identical operation stream must return
+//! byte-identical reads under random write/read/rekey/tamper
+//! interleavings, on both backends — the cache may change how fast a
+//! read answers, never what it answers. Also pins the security
+//! property behind the design: rekey and tamper purge every cached
+//! entry, so plaintext decrypted under a retired key (or before a
+//! detected flip) is unreachable afterwards.
+
+use clme::mem::{
+    Block, CacheCause, EncryptionLayer, FileBackend, LayerOptions, MemoryAdt, StoreBackend,
+    VecBackend,
+};
+use clme::types::rng::SplitMix64;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+const MASTER: [u8; 32] = [0x47; 32];
+const SEED: u64 = 0x0DDB_A11;
+const BLOCKS: u64 = 300; // 5 pages, partial last page
+
+fn options(cache_pages: usize) -> LayerOptions {
+    LayerOptions {
+        // Low enough that hot blocks overflow into counterless mode, so
+        // the cache is exercised across both encryption modes.
+        counter_saturation: 6,
+        cache_pages,
+        // One lock shard so a small cache capacity is a real bound and
+        // the 5-page store forces CLOCK evictions.
+        shards: 1,
+        ..LayerOptions::default()
+    }
+}
+
+fn random_block(rng: &mut SplitMix64) -> Block {
+    let mut block = [0u8; 64];
+    for chunk in block.chunks_mut(8) {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    block
+}
+
+/// Drives the same random op stream through both layers. Because the
+/// scheme is deterministic — same master key, same write order, same
+/// counters — the two stored images stay bit-identical, which lets the
+/// tamper op flip the *same* stored byte in both and demand the same
+/// typed failure from each.
+fn drive_twins<A: StoreBackend, B: StoreBackend>(
+    cached: &EncryptionLayer<A>,
+    plain: &EncryptionLayer<B>,
+    rng: &mut SplitMix64,
+    ops: usize,
+) -> (usize, usize) {
+    let mut model: BTreeMap<u64, Block> = BTreeMap::new();
+    let mut rekeys = 0usize;
+    let mut tampers = 0usize;
+    let mut master_round = 0u64;
+    let total_words = cached.geometry().total_words();
+    for op in 0..ops {
+        match rng.below(12) {
+            0..=4 => {
+                let len = 1 + rng.below(64) as usize;
+                let batch: Vec<(u64, Block)> = (0..len)
+                    .map(|_| (rng.below(BLOCKS), random_block(rng)))
+                    .collect();
+                cached.batch_write(&batch).expect("cached write");
+                plain.batch_write(&batch).expect("plain write");
+                for (addr, block) in batch {
+                    model.insert(addr, block);
+                }
+            }
+            5..=8 => {
+                let len = 1 + rng.below(64) as usize;
+                let addrs: Vec<u64> = (0..len).map(|_| rng.below(BLOCKS)).collect();
+                let from_cached = cached.batch_read(&addrs).expect("cached read");
+                let from_plain = plain.batch_read(&addrs).expect("plain read");
+                assert_eq!(
+                    from_cached, from_plain,
+                    "op {op}: cache-on and cache-off reads diverged"
+                );
+                for (addr, block) in addrs.iter().zip(&from_cached) {
+                    let want = model.get(addr).copied().unwrap_or([0u8; 64]);
+                    assert_eq!(block, &want, "op {op}: block {addr:#x} diverged from model");
+                }
+            }
+            9..=10 => {
+                master_round += 1;
+                let mut new_master = MASTER;
+                new_master[..8].copy_from_slice(&master_round.to_le_bytes());
+                cached.rekey(new_master).expect("cached rekey");
+                plain.rekey(new_master).expect("plain rekey");
+                rekeys += 1;
+            }
+            // Tamper: flip one stored byte in both images, probe the
+            // address whose read must traverse it, demand an integrity
+            // error from both layers, then restore and demand recovery.
+            _ => {
+                let word_index = rng.below(total_words);
+                let byte = rng.below(80) as usize;
+                let mask = 1u8 << rng.below(8);
+                let probe = cached
+                    .geometry()
+                    .probe_addr(cached.geometry().classify(word_index));
+                fn flip<B: StoreBackend>(backend: &B, word_index: u64, byte: usize, mask: u8) {
+                    let mut word = backend.read_word(word_index).expect("read word");
+                    word[byte] ^= mask;
+                    backend.write_word(word_index, &word).expect("write word");
+                }
+                for restore in [false, true] {
+                    flip(cached.backend(), word_index, byte, mask);
+                    flip(plain.backend(), word_index, byte, mask);
+                    let want = model.get(&probe).copied().unwrap_or([0u8; 64]);
+                    let from_cached = cached.read_block(probe);
+                    let from_plain = plain.read_block(probe);
+                    if restore {
+                        assert_eq!(
+                            from_cached.expect("cached recovers after restore"),
+                            want,
+                            "op {op}: restored read diverged"
+                        );
+                        assert_eq!(
+                            from_plain.expect("plain recovers after restore"),
+                            want,
+                            "op {op}: restored plain read diverged"
+                        );
+                    } else {
+                        // The flipped byte bumped the backend's write
+                        // generation, so the cache may not serve the
+                        // stale (pre-flip) plaintext: both layers must
+                        // fail verification identically.
+                        let cached_err =
+                            from_cached.expect_err("cache must not mask the flip");
+                        let plain_err = from_plain.expect_err("plain flip detected");
+                        assert_eq!(
+                            cached_err.integrity().map(|e| e.class),
+                            plain_err.integrity().map(|e| e.class),
+                            "op {op}: flip produced different error classes"
+                        );
+                    }
+                }
+                tampers += 1;
+            }
+        }
+    }
+    // Full-store sweep: the final images answer identically everywhere.
+    let addrs: Vec<u64> = (0..BLOCKS).collect();
+    let from_cached = cached.batch_read(&addrs).expect("final cached sweep");
+    let from_plain = plain.batch_read(&addrs).expect("final plain sweep");
+    assert_eq!(from_cached, from_plain, "final sweep diverged");
+    for (addr, block) in addrs.iter().zip(&from_cached) {
+        let want = model.get(addr).copied().unwrap_or([0u8; 64]);
+        assert_eq!(block, &want, "final state: block {addr:#x}");
+    }
+    (rekeys, tampers)
+}
+
+#[test]
+fn cache_on_and_off_read_identically_vec_backend() {
+    let cached = EncryptionLayer::with_options(
+        VecBackend::for_blocks(BLOCKS),
+        BLOCKS,
+        MASTER,
+        // Capacity below the page count so CLOCK eviction runs too.
+        options(3),
+    )
+    .expect("geometry fits");
+    let plain = EncryptionLayer::with_options(
+        VecBackend::for_blocks(BLOCKS),
+        BLOCKS,
+        MASTER,
+        options(0),
+    )
+    .expect("geometry fits");
+    let mut rng = SplitMix64::new(SplitMix64::new(SEED).derive(b"cache/vec"));
+    let (rekeys, tampers) = drive_twins(&cached, &plain, &mut rng, 300);
+    assert!(rekeys > 0, "the op mix must exercise rekey");
+    assert!(tampers > 0, "the op mix must exercise tamper");
+    let snap = cached.metrics_snapshot();
+    if snap.cache.misses + snap.cache.hits > 0 {
+        // Telemetry is compiled in: the run must actually have used the
+        // cache, evicted under pressure, and purged on rekey + tamper.
+        assert!(snap.cache.fills > 0, "cache never filled");
+        assert!(snap.cache.evictions > 0, "capacity 3 over 5 pages must evict");
+        assert!(snap.cache.invalidated(CacheCause::Rekey) > 0);
+        assert!(snap.cache.invalidated(CacheCause::Foreign) > 0);
+    }
+}
+
+#[test]
+fn cache_on_and_off_read_identically_file_backend() {
+    let dir = std::env::temp_dir();
+    let cached_path = PathBuf::from(&dir).join(format!(
+        "clme-mem-cache-on-{}.store",
+        std::process::id()
+    ));
+    let plain_path = PathBuf::from(&dir).join(format!(
+        "clme-mem-cache-off-{}.store",
+        std::process::id()
+    ));
+    {
+        let cached = EncryptionLayer::with_options(
+            FileBackend::create_for_blocks(&cached_path, BLOCKS).expect("create store"),
+            BLOCKS,
+            MASTER,
+            options(3),
+        )
+        .expect("geometry fits");
+        let plain = EncryptionLayer::with_options(
+            FileBackend::create_for_blocks(&plain_path, BLOCKS).expect("create store"),
+            BLOCKS,
+            MASTER,
+            options(0),
+        )
+        .expect("geometry fits");
+        let mut rng = SplitMix64::new(SplitMix64::new(SEED).derive(b"cache/file"));
+        let (rekeys, tampers) = drive_twins(&cached, &plain, &mut rng, 200);
+        assert!(rekeys > 0, "the op mix must exercise rekey");
+        assert!(tampers > 0, "the op mix must exercise tamper");
+    }
+    let _ = std::fs::remove_file(&cached_path);
+    let _ = std::fs::remove_file(&plain_path);
+}
+
+/// After a rekey, nothing decrypted under the old key stays reachable:
+/// the purge empties the cache and the refill re-verifies under the new
+/// key. After a detected flip the same holds for pre-flip plaintext.
+#[test]
+fn rekey_and_tamper_leave_no_stale_entries() {
+    let layer = EncryptionLayer::with_options(
+        VecBackend::for_blocks(BLOCKS),
+        BLOCKS,
+        MASTER,
+        options(64),
+    )
+    .expect("geometry fits");
+    let mut rng = SplitMix64::new(SplitMix64::new(SEED).derive(b"cache/stale"));
+    let batch: Vec<(u64, Block)> = (0..BLOCKS).map(|a| (a, random_block(&mut rng))).collect();
+    layer.batch_write(&batch).expect("populate");
+    let addrs: Vec<u64> = (0..BLOCKS).collect();
+    let before = layer.batch_read(&addrs).expect("fill the cache");
+
+    layer.rekey([0x58; 32]).expect("rekey");
+    let snap = layer.metrics_snapshot();
+    if snap.cache.fills > 0 {
+        assert_eq!(
+            snap.cache.resident_pages, 0,
+            "rekey left stale old-key entries resident"
+        );
+    }
+    // Every block re-reads identically through fresh verification.
+    assert_eq!(layer.batch_read(&addrs).expect("post-rekey sweep"), before);
+
+    // A detected flip purges too: corrupt one counter word, catch the
+    // error, then check nothing stayed resident.
+    let word_index = layer.geometry().counter_word(0);
+    let mut word = layer.backend().read_word(word_index).expect("read");
+    word[5] ^= 0x20;
+    layer.backend().write_word(word_index, &word).expect("flip");
+    layer.read_block(0).expect_err("flip detected");
+    let snap = layer.metrics_snapshot();
+    if snap.cache.fills > 0 {
+        assert_eq!(
+            snap.cache.resident_pages, 0,
+            "tamper left stale pre-flip entries resident"
+        );
+    }
+    word[5] ^= 0x20;
+    layer.backend().write_word(word_index, &word).expect("restore");
+    assert_eq!(layer.batch_read(&addrs).expect("recovered sweep"), before);
+}

@@ -221,14 +221,22 @@ fn run_stream<B: StoreBackend>(layer: &EncryptionLayer<B>, thread: u64) {
 }
 
 /// The (kind, a, b) multiset of the layer's retained events, minus the
-/// timing-dependent kinds (lock waits depend on real contention).
+/// kinds that are not a pure function of the op stream: lock waits
+/// depend on real contention, and the read-path events (`ReadPage`,
+/// `ReadHit`) ride a per-thread sampling tick, whose phase
+/// differs between N fresh threads and one thread running N streams.
 fn event_multiset<B: StoreBackend>(layer: &EncryptionLayer<B>) -> Vec<(u16, u64, u64)> {
     let snap = layer.flight_snapshot();
     assert_eq!(snap.dropped, 0, "ring must retain the whole run");
+    let sampled_kinds = [
+        FlightKind::LockSlow as u16,
+        FlightKind::ReadPage as u16,
+        FlightKind::ReadHit as u16,
+    ];
     let mut events: Vec<(u16, u64, u64)> = snap
         .events
         .iter()
-        .filter(|e| e.kind != FlightKind::LockSlow as u16)
+        .filter(|e| !sampled_kinds.contains(&e.kind))
         .map(|e| (e.kind, e.a, e.b))
         .collect();
     events.sort_unstable();
