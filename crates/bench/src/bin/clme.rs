@@ -84,7 +84,8 @@
 use clme_core::engine::EngineKind;
 use clme_mem::{
     write_atomic, DumpBundle, DumpContext, EncryptionLayer, FileBackend, LayerOptions, MemOp,
-    MemoryAdt, StoreBackend, VecBackend, DEFAULT_CACHE_PAGES,
+    MemoryAdt, SloSpec, StoreBackend, TenantRanges, TenantSnapshot, TenantTelemetry, VecBackend,
+    DEFAULT_CACHE_PAGES, DEFAULT_TENANT_TOP,
 };
 use clme_obs::{span_flow_json, Blame, EpochSeries, EventKind, Log2Histogram, SpanTracer, Stage};
 use clme_sim::matrix::{all_engines, RunMatrix};
@@ -97,6 +98,7 @@ use clme_types::json::JsonValue;
 use clme_types::rng::SplitMix64;
 use clme_types::SystemConfig;
 use clme_workloads::suites;
+use clme_workloads::tenants::{TenantComposer, TenantTrafficConfig};
 use std::path::{Path, PathBuf};
 
 struct Args {
@@ -1440,7 +1442,16 @@ struct MemArgs {
     serve_requests: usize,
     cache: bool,
     cache_pages: Option<usize>,
+    tenants: Option<u64>,
+    skew: f64,
+    slo: Option<String>,
+    tenant_top: usize,
 }
+
+/// SLOs a `--tenants` run tracks when `--slo` is not given. Generous
+/// enough that a healthy run burns near zero; a noisy neighbour or a
+/// cold file backend shows up as burn > 0.
+const DEFAULT_TENANT_SLO: &str = "read-p99=250us,write-p99=1ms";
 
 fn mem_usage() -> ! {
     eprintln!(
@@ -1452,6 +1463,7 @@ fn mem_usage() -> ! {
          \x20            [--epoch-ms MS] [--stats] [--stats-json PATH] [--prom PATH]\n\
          \x20            [--check-stats PATH] [--dump PATH] [--dump-on-exit]\n\
          \x20            [--serve ADDR] [--serve-requests N]\n\
+         \x20            [--tenants N] [--skew Z] [--slo SPEC] [--tenant-top K]\n\
          \n\
          Drives the clme-mem library — the counter-light scheme applied to a\n\
          real backing store instead of the simulator. The default run is a\n\
@@ -1497,6 +1509,18 @@ fn mem_usage() -> ! {
          --serve     after the run, keep serving GET /metrics (Prometheus\n\
          \x20        text) and /healthz over HTTP on ADDR (e.g. 127.0.0.1:9464)\n\
          --serve-requests stop serving after N requests (0 = forever)\n\
+         --tenants   bench N interleaved client streams (Zipf-skewed\n\
+         \x20        activity, disjoint page ranges, per-tenant read/write\n\
+         \x20        mix) instead of the single-stream bench; per-tenant\n\
+         \x20        tables ride --stats/--stats-json/--prom, and --blocks\n\
+         \x20        is raised if needed so every tenant owns >= 1 page\n\
+         --skew      Zipf exponent for tenant and page popularity\n\
+         \x20        (default 1.2; 0 = uniform)\n\
+         --slo       per-tenant latency objectives, e.g.\n\
+         \x20        read-p99=120us,write-p99=1ms (default\n\
+         \x20        read-p99=250us,write-p99=1ms); burn rates per window\n\
+         --tenant-top exact per-tenant metric slots; the long tail folds\n\
+         \x20        into __other__ (default 8, bounded cardinality)\n\
          \n\
          example: clme mem --smoke --blocks 256\n\
          example: clme mem --bench --backend file --blocks 8192 --stats\n\
@@ -1504,7 +1528,8 @@ fn mem_usage() -> ! {
          example: clme mem --critpath hot --json mem_blame.json\n\
          example: clme mem --bench --no-cache --stats\n\
          example: clme mem --tamper mac --blocks 256 --dump mac.clmedump\n\
-         example: clme mem --serve 127.0.0.1:9464 --blocks 256"
+         example: clme mem --serve 127.0.0.1:9464 --blocks 256\n\
+         example: clme mem --tenants 64 --skew 1.2 --slo read-p99=120us --stats"
     );
     std::process::exit(2)
 }
@@ -1537,6 +1562,10 @@ fn parse_mem_args(args: &[String]) -> MemArgs {
         serve_requests: 0,
         cache: true,
         cache_pages: None,
+        tenants: None,
+        skew: clme_workloads::tenants::DEFAULT_SKEW,
+        slo: None,
+        tenant_top: DEFAULT_TENANT_TOP,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -1633,6 +1662,37 @@ fn parse_mem_args(args: &[String]) -> MemArgs {
                 parsed.serve_requests =
                     value("--serve-requests").parse().unwrap_or_else(|_| mem_usage())
             }
+            "--tenants" => {
+                let n: u64 = value("--tenants").parse().unwrap_or_else(|_| mem_usage());
+                if n == 0 {
+                    eprintln!("--tenants needs a positive count");
+                    mem_usage()
+                }
+                parsed.tenants = Some(n);
+            }
+            "--skew" => {
+                parsed.skew = value("--skew").parse().unwrap_or_else(|_| mem_usage());
+                if !(parsed.skew.is_finite() && parsed.skew >= 0.0) {
+                    eprintln!("--skew needs a finite non-negative exponent");
+                    mem_usage()
+                }
+            }
+            "--slo" => {
+                let spec = value("--slo");
+                if let Err(err) = SloSpec::parse_list(&spec) {
+                    eprintln!("bad --slo: {err}");
+                    mem_usage()
+                }
+                parsed.slo = Some(spec);
+            }
+            "--tenant-top" => {
+                parsed.tenant_top =
+                    value("--tenant-top").parse().unwrap_or_else(|_| mem_usage());
+                if parsed.tenant_top == 0 {
+                    eprintln!("--tenant-top needs a positive count");
+                    mem_usage()
+                }
+            }
             "--help" | "-h" => mem_usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -1648,6 +1708,26 @@ fn parse_mem_args(args: &[String]) -> MemArgs {
     {
         eprintln!("--smoke, --bench, --critpath, and --tamper are mutually exclusive");
         mem_usage()
+    }
+    if let Some(tenants) = parsed.tenants {
+        if parsed.smoke || parsed.critpath.is_some() || parsed.tamper.is_some() {
+            eprintln!("--tenants runs the multi-tenant bench; it cannot combine with --smoke, --critpath, or --tamper");
+            mem_usage()
+        }
+        parsed.bench = true;
+        // Every tenant needs its own page range; resize the store to an
+        // exact fit of equal ranges (raising it when --blocks is too
+        // small for one page per tenant).
+        let page_blocks = clme_mem::PAGE_BLOCKS as u64;
+        let pages_per = (parsed.blocks / page_blocks / tenants).max(1);
+        let needed = tenants * pages_per * page_blocks;
+        if needed != parsed.blocks {
+            eprintln!(
+                "--tenants {tenants}: sizing the store to {needed} blocks \
+                 ({pages_per} pages per tenant)"
+            );
+            parsed.blocks = needed;
+        }
     }
     parsed
 }
@@ -1739,8 +1819,47 @@ fn run_mem_critpath_label(args: &CritpathArgs, rest: &str) -> i32 {
         serve_requests: 0,
         cache: true,
         cache_pages: None,
+        tenants: None,
+        skew: clme_workloads::tenants::DEFAULT_SKEW,
+        slo: None,
+        tenant_top: DEFAULT_TENANT_TOP,
     };
     run_mem_with_args(&mem_args)
+}
+
+/// The traffic shape a `--tenants` run composes: disjoint equal page
+/// ranges over the (already resized) store.
+fn mem_tenant_traffic(args: &MemArgs, tenants: u64) -> TenantTrafficConfig {
+    TenantTrafficConfig {
+        tenants,
+        seed: args.seed,
+        skew: args.skew,
+        pages_per_tenant: args.blocks / clme_mem::PAGE_BLOCKS as u64 / tenants,
+        page_blocks: clme_mem::PAGE_BLOCKS as u64,
+        batch_blocks: 64,
+    }
+}
+
+/// Builds the per-tenant telemetry for a `--tenants` run: page ranges
+/// from the traffic config, exact slots primed with the composer's
+/// expected-heaviest tenants, SLOs from `--slo` (or the default pair).
+fn mem_tenant_telemetry(args: &MemArgs) -> Option<std::sync::Arc<TenantTelemetry>> {
+    let tenants = args.tenants?;
+    let cfg = mem_tenant_traffic(args, tenants);
+    let composer = TenantComposer::new(cfg);
+    let slos = SloSpec::parse_list(args.slo.as_deref().unwrap_or(DEFAULT_TENANT_SLO))
+        .expect("SLO spec validated at parse time");
+    let ranges = TenantRanges {
+        count: tenants,
+        first_page: 0,
+        pages_per: cfg.pages_per_tenant,
+    };
+    Some(std::sync::Arc::new(TenantTelemetry::new(
+        ranges,
+        args.tenant_top,
+        &composer.expected_heaviest(args.tenant_top),
+        slos,
+    )))
 }
 
 fn run_mem_with_args(args: &MemArgs) -> i32 {
@@ -1763,14 +1882,17 @@ fn run_mem_with_args(args: &MemArgs) -> i32 {
                     return 1;
                 }
             };
-            let layer = match EncryptionLayer::with_options(backend, args.blocks, master, options)
-            {
-                Ok(layer) => layer,
-                Err(err) => {
-                    eprintln!("cannot initialise layer: {err}");
-                    return 1;
-                }
-            };
+            let mut layer =
+                match EncryptionLayer::with_options(backend, args.blocks, master, options) {
+                    Ok(layer) => layer,
+                    Err(err) => {
+                        eprintln!("cannot initialise layer: {err}");
+                        return 1;
+                    }
+                };
+            if let Some(tenants) = mem_tenant_telemetry(args) {
+                layer.install_tenants(tenants);
+            }
             let code = mem_dispatch(args, &layer);
             drop(layer);
             if temporary {
@@ -1781,7 +1903,12 @@ fn run_mem_with_args(args: &MemArgs) -> i32 {
         _ => {
             let backend = VecBackend::for_blocks(args.blocks);
             match EncryptionLayer::with_options(backend, args.blocks, master, options) {
-                Ok(layer) => mem_dispatch(args, &layer),
+                Ok(mut layer) => {
+                    if let Some(tenants) = mem_tenant_telemetry(args) {
+                        layer.install_tenants(tenants);
+                    }
+                    mem_dispatch(args, &layer)
+                }
                 Err(err) => {
                     eprintln!("cannot initialise layer: {err}");
                     return 1;
@@ -1859,6 +1986,17 @@ fn mem_dump_context(args: &MemArgs, mode: &str, extras: JsonValue) -> DumpContex
         ("blocks".into(), JsonValue::Num(args.blocks as f64)),
         ("ops".into(), JsonValue::Num(args.ops.max(64) as f64)),
     ];
+    if let Some(tenants) = args.tenants {
+        // The range descriptor lets `clme postmortem` name the suspect
+        // tenant from page-level events alone.
+        let ranges = TenantRanges {
+            count: tenants,
+            first_page: 0,
+            pages_per: mem_tenant_traffic(args, tenants).pages_per_tenant,
+        };
+        workload.push(("tenants".into(), ranges.to_json()));
+        workload.push(("skew".into(), JsonValue::Num(args.skew)));
+    }
     if let JsonValue::Obj(extra) = extras {
         workload.extend(extra);
     }
@@ -2048,7 +2186,7 @@ fn mem_serve<B: StoreBackend>(addr: &str, layer: &EncryptionLayer<B>, max_reques
         };
         let target = request_line.split_whitespace().nth(1).unwrap_or("");
         let (status, content_type, body) = match target {
-            "/metrics" => ("200 OK", "text/plain; version=0.0.4", layer.metrics_prom()),
+            "/metrics" => ("200 OK", "text/plain; version=0.0.4", mem_prom_text(layer)),
             "/healthz" => ("200 OK", "text/plain", "ok\n".to_string()),
             _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
         };
@@ -2270,6 +2408,10 @@ struct MemBenchReport {
     read_spread_pct: f64,
     rekey_blocks: u64,
     rekey_blocks_per_sec: f64,
+    /// `--tenants` runs only: FNV-1a digest of the composed stream and
+    /// how many batches it covered (byte-deterministic per seed).
+    tenant_digest: Option<u64>,
+    tenant_batches: u64,
 }
 
 /// Prints one telemetry epoch row per `--epoch-ms` while the bench
@@ -2328,6 +2470,9 @@ fn mem_bench<B: StoreBackend>(
     args: &MemArgs,
     layer: &EncryptionLayer<B>,
 ) -> Result<MemBenchReport, String> {
+    if args.tenants.is_some() {
+        return mem_bench_tenants(args, layer);
+    }
     let blocks = layer.blocks();
     let ops = args.ops.max(64);
     let mut rng = SplitMix64::new(SplitMix64::new(args.seed).derive(b"mem/bench"));
@@ -2473,6 +2618,204 @@ fn mem_bench<B: StoreBackend>(
         read_spread_pct: spread_pct(&read_rep_secs),
         rekey_blocks: report.blocks,
         rekey_blocks_per_sec: report.blocks as f64 / rekey_secs,
+        tenant_digest: None,
+        tenant_batches: 0,
+    })
+}
+
+/// The `--tenants` bench: composed multi-tenant traffic instead of the
+/// single uniform stream. Every batch is timed individually so the
+/// per-tenant telemetry gets exact op latencies; reads and writes
+/// interleave as composed, with each side's throughput summed
+/// separately so the printed rows stay comparable to the single-stream
+/// bench (and to the ci.sh overhead gate's awk).
+fn mem_bench_tenants<B: StoreBackend>(
+    args: &MemArgs,
+    layer: &EncryptionLayer<B>,
+) -> Result<MemBenchReport, String> {
+    let tenant_count = args.tenants.expect("tenant bench needs --tenants");
+    let telemetry = layer
+        .tenants()
+        .cloned()
+        .ok_or("tenant bench needs tenant telemetry installed")?;
+    let mut composer = TenantComposer::new(mem_tenant_traffic(args, tenant_count));
+    let mut data_rng = SplitMix64::new(SplitMix64::new(args.seed).derive(b"mem/tenants/data"));
+    let ops = args.ops.max(64);
+    let mib_rate = |blocks_per_sec: f64| blocks_per_sec * 64.0 / (1024.0 * 1024.0);
+    let mut watch = MemWatch::new(args, layer);
+
+    // Same shape as the single-stream bench: rep 0 is an untimed
+    // warm-up, then best-of---reps. The composer runs on through all
+    // reps, so the digest covers the whole emitted stream.
+    let mut write_rep_rates: Vec<f64> = Vec::with_capacity(args.reps);
+    let mut read_rep_rates: Vec<f64> = Vec::with_capacity(args.reps);
+    let (mut best_write, mut best_read) = (0u64, 0u64);
+    let mut batch: Vec<(u64, clme_mem::Block)> = Vec::with_capacity(64);
+    for rep in 0..=args.reps {
+        let warmup = rep == 0;
+        let (mut write_secs, mut read_secs) = (0.0f64, 0.0f64);
+        let (mut write_blocks, mut read_blocks) = (0u64, 0u64);
+        let mut issued = 0usize;
+        while issued < ops {
+            let composed = composer.next_batch();
+            let blocks_in_batch = composed.addrs.len() as u64;
+            if composed.write {
+                // Pattern data is generated outside the timed window so
+                // the per-tenant latency (and SLO burn) blames the
+                // layer, not the data generator.
+                batch.clear();
+                for &addr in &composed.addrs {
+                    batch.push((addr, mem_pattern_block(&mut data_rng)));
+                }
+            }
+            let started = std::time::Instant::now();
+            if composed.write {
+                layer
+                    .batch_write(&batch)
+                    .map_err(|err| format!("tenant batch_write failed: {err}"))?;
+            } else {
+                layer
+                    .batch_read(&composed.addrs)
+                    .map_err(|err| format!("tenant batch_read failed: {err}"))?;
+            }
+            let elapsed = started.elapsed();
+            telemetry.record_op(
+                composed.tenant,
+                composed.write,
+                elapsed.as_nanos() as u64,
+                blocks_in_batch,
+            );
+            layer
+                .flight()
+                .tenant_batch(composed.tenant, blocks_in_batch, composed.write);
+            if composed.write {
+                write_secs += elapsed.as_secs_f64();
+                write_blocks += blocks_in_batch;
+            } else {
+                read_secs += elapsed.as_secs_f64();
+                read_blocks += blocks_in_batch;
+            }
+            issued += blocks_in_batch as usize;
+            watch.tick(if composed.write { "write" } else { "read" }, layer);
+        }
+        // One SLO burn window per rep: window rolls are the bench's
+        // epoch boundary.
+        telemetry.roll_windows();
+        if !warmup {
+            if write_blocks > 0 && write_secs > 0.0 {
+                write_rep_rates.push(write_blocks as f64 / write_secs);
+            }
+            if read_blocks > 0 && read_secs > 0.0 {
+                read_rep_rates.push(read_blocks as f64 / read_secs);
+            }
+            best_write = best_write.max(write_blocks);
+            best_read = best_read.max(read_blocks);
+        }
+    }
+    let best = |rates: &[f64]| rates.iter().copied().fold(0.0f64, f64::max);
+    let spread_pct = |rates: &[f64]| {
+        let (max, min) = (
+            best(rates),
+            rates.iter().copied().fold(f64::INFINITY, f64::min),
+        );
+        if min.is_finite() && min > 0.0 { (max - min) / min * 100.0 } else { 0.0 }
+    };
+    let write_rate = best(&write_rep_rates);
+    let read_rate = best(&read_rep_rates);
+
+    let started = std::time::Instant::now();
+    let report = layer
+        .rekey(mem_master_key(args.seed, b"mem/bench-rekey"))
+        .map_err(|err| format!("rekey failed: {err}"))?;
+    let rekey_secs = started.elapsed().as_secs_f64();
+
+    println!(
+        "clme-mem bench: {} blocks, {} tenants (skew {:.2}, top {} exact), batches of 64, \
+         backend {}, 1 warm-up pass{}",
+        layer.blocks(),
+        tenant_count,
+        args.skew,
+        args.tenant_top.min(tenant_count as usize),
+        args.backend,
+        if args.reps > 1 {
+            format!(", best of {} reps", args.reps)
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "  {:<12} {:>10} {:>14} {:>12}",
+        "op", "blocks", "blocks/s", "MiB/s"
+    );
+    println!(
+        "  {:<12} {:>10} {:>14.0} {:>12.1}",
+        "batch_write",
+        best_write,
+        write_rate,
+        mib_rate(write_rate)
+    );
+    println!(
+        "  {:<12} {:>10} {:>14.0} {:>12.1}",
+        "batch_read",
+        best_read,
+        read_rate,
+        mib_rate(read_rate)
+    );
+    println!(
+        "  {:<12} {:>10} {:>14.0} {:>12.1}",
+        "rekey",
+        report.blocks,
+        report.blocks as f64 / rekey_secs,
+        mib_rate(report.blocks as f64 / rekey_secs)
+    );
+    if args.reps > 1 {
+        println!(
+            "  spread over {} reps: write {:.1}%  read {:.1}% (max rep vs best)",
+            args.reps,
+            spread_pct(&write_rep_rates),
+            spread_pct(&read_rep_rates),
+        );
+    }
+    println!(
+        "  tenant stream digest {:#018x} over {} batches",
+        composer.digest(),
+        composer.batches()
+    );
+
+    let snap = layer.metrics_snapshot();
+    let read_lat = &snap.op(MemOp::Read).latency;
+    let write_lat = &snap.op(MemOp::Write).latency;
+    if read_lat.count() + write_lat.count() > 0 {
+        println!(
+            "  {:<12} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "latency", "samples", "p50_ns", "p95_ns", "p99_ns", "mean_ns", "max_ns"
+        );
+        for (label, hist) in [("read", read_lat), ("write", write_lat)] {
+            println!(
+                "  {:<12} {:>10} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+                label,
+                hist.count(),
+                hist.percentile_ps(0.5) as f64 / 1000.0,
+                hist.percentile_ps(0.95) as f64 / 1000.0,
+                hist.percentile_ps(0.99) as f64 / 1000.0,
+                hist.mean_ps() / 1000.0,
+                hist.max_ps() as f64 / 1000.0,
+            );
+        }
+    }
+
+    Ok(MemBenchReport {
+        ops,
+        write_blocks_per_sec: write_rate,
+        read_blocks_per_sec: read_rate,
+        write_spread_pct: spread_pct(&write_rep_rates),
+        read_spread_pct: spread_pct(&read_rep_rates),
+        write_rep_blocks_per_sec: write_rep_rates,
+        read_rep_blocks_per_sec: read_rep_rates,
+        rekey_blocks: report.blocks,
+        rekey_blocks_per_sec: report.blocks as f64 / rekey_secs,
+        tenant_digest: Some(composer.digest()),
+        tenant_batches: composer.batches(),
     })
 }
 
@@ -2482,11 +2825,13 @@ fn mem_bench<B: StoreBackend>(
 
 /// `BENCH_mem.json` schema version. 2 added the bench warm-up pass,
 /// per-rep throughput + spread, and the verify_cache/fanin stats
-/// sections; history entries from schema 1 are still carried forward.
-const MEM_SCHEMA: u32 = 2;
+/// sections; 3 added the `tenants` object (per-tenant rows, SLO burn,
+/// tail attribution, stream digest) written by `--tenants` runs.
+/// History entries from schemas 1 and 2 are still carried forward.
+const MEM_SCHEMA: u32 = 3;
 
 /// Schema versions whose `history` arrays this build still understands.
-const MEM_SCHEMA_COMPAT: [u32; 2] = [1, MEM_SCHEMA];
+const MEM_SCHEMA_COMPAT: [u32; 3] = [1, 2, MEM_SCHEMA];
 
 /// Artifact history entries kept when carrying the trajectory forward.
 const MEM_HISTORY_CAP: usize = 40;
@@ -2619,6 +2964,82 @@ fn mem_print_stats(snap: &clme_mem::MemMetricsSnapshot) {
     );
 }
 
+/// The `--stats` per-tenant tables: bounded-cardinality rows (top-K
+/// exact plus the `__other__` rollup), stage blame, tail attribution,
+/// and SLO burn.
+fn mem_print_tenant_stats(tenant: &TenantSnapshot) {
+    use clme_mem::TailCause;
+
+    println!(
+        "telemetry: per-tenant ({} exact slots of {} tenants, {} ops folded into __other__)",
+        tenant.top_k.min(tenant.tenant_count as usize),
+        tenant.tenant_count,
+        tenant.folded_ops,
+    );
+    println!(
+        "    {:<14} {:>13} {:>9} {:>9} {:>9} {:>7} {:>9} {:<10}",
+        "tenant", "ops(r/w)", "rd_p50", "rd_p99", "wr_p99", "cache%", "ctx_wr", "tail"
+    );
+    for row in &tenant.rows {
+        if row.ops[0] + row.ops[1] == 0 && row.cache.iter().sum::<u64>() == 0 {
+            continue;
+        }
+        let lookups: u64 = row.cache.iter().sum();
+        let cache_pct = if lookups > 0 {
+            row.cache[0] as f64 / lookups as f64 * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "    {:<14} {:>13} {:>9.0} {:>9.0} {:>9.0} {:>7.1} {:>9} {:<10}",
+            row.label,
+            format!("{}/{}", row.ops[0], row.ops[1]),
+            row.read.percentile_ps(0.5) as f64 / 1000.0,
+            row.read.percentile_ps(0.99) as f64 / 1000.0,
+            row.write.percentile_ps(0.99) as f64 / 1000.0,
+            cache_pct,
+            row.ciphertext_writes,
+            row.dominant_tail().map(TailCause::name).unwrap_or("-"),
+        );
+    }
+    if !tenant.slo.is_empty() {
+        println!("telemetry: tenant SLO burn (burn = bad-fraction / error-budget)");
+        println!(
+            "    {:<14} {:<16} {:>9} {:>7} {:>7}  {}",
+            "tenant", "slo", "good", "bad", "burn", "window burns (oldest first)"
+        );
+        for row in &tenant.rows {
+            for slo in &row.slo {
+                if slo.good + slo.bad == 0 {
+                    continue;
+                }
+                let windows: Vec<String> =
+                    slo.window_burns.iter().map(|b| format!("{b:.2}")).collect();
+                println!(
+                    "    {:<14} {:<16} {:>9} {:>7} {:>7.2}  {}",
+                    row.label,
+                    slo.label,
+                    slo.good,
+                    slo.bad,
+                    slo.burn,
+                    windows.join(" "),
+                );
+            }
+        }
+    }
+    if !tenant.hot_unadmitted.is_empty() {
+        let listed: Vec<String> = tenant
+            .hot_unadmitted
+            .iter()
+            .map(|(id, count)| format!("tenant-{id} (~{count} blocks)"))
+            .collect();
+        println!(
+            "telemetry: heavy hitters hiding in __other__ (raise --tenant-top): {}",
+            listed.join(", ")
+        );
+    }
+}
+
 /// Carries the history array forward from a previous `BENCH_mem.json`;
 /// unreadable or mismatched-schema text yields an empty history.
 fn mem_extract_history(text: &str) -> Vec<JsonValue> {
@@ -2642,6 +3063,7 @@ fn mem_stats_artifact(
     args: &MemArgs,
     snap: &clme_mem::MemMetricsSnapshot,
     bench: Option<&MemBenchReport>,
+    tenant: Option<&TenantSnapshot>,
     mut history: Vec<JsonValue>,
 ) -> String {
     let unix_time = std::time::SystemTime::now()
@@ -2724,6 +3146,22 @@ fn mem_stats_artifact(
         ));
     }
     doc.push(("stats".into(), snap.to_json()));
+    if let Some(tenant) = tenant {
+        let mut obj = match tenant.to_json() {
+            JsonValue::Obj(fields) => fields,
+            other => vec![("snapshot".into(), other)],
+        };
+        obj.push(("skew".into(), JsonValue::Num(args.skew)));
+        if let Some(bench) = bench {
+            if let Some(digest) = bench.tenant_digest {
+                // Hex string: a u64 digest does not survive the f64
+                // JSON number round trip.
+                obj.push(("digest".into(), JsonValue::Str(format!("{digest:#018x}"))));
+                obj.push(("batches".into(), JsonValue::Num(bench.tenant_batches as f64)));
+            }
+        }
+        doc.push(("tenants".into(), JsonValue::Obj(obj)));
+    }
     doc.push(("history".into(), JsonValue::Arr(history)));
     let mut text = JsonValue::Obj(doc).to_pretty();
     text.push('\n');
@@ -2741,14 +3179,18 @@ fn mem_emit_stats<B: StoreBackend>(
         return 0;
     }
     let snap = layer.metrics_snapshot();
+    let tenant = layer.tenants().map(|t| t.snapshot());
     if args.stats {
         mem_print_stats(&snap);
+        if let Some(tenant) = &tenant {
+            mem_print_tenant_stats(tenant);
+        }
     }
     if let Some(path) = &args.stats_json {
         let history = std::fs::read_to_string(path)
             .map(|text| mem_extract_history(&text))
             .unwrap_or_default();
-        let artifact = mem_stats_artifact(args, &snap, bench, history);
+        let artifact = mem_stats_artifact(args, &snap, bench, tenant.as_ref(), history);
         if let Err(err) = write_atomic(path, &artifact) {
             eprintln!("cannot write {}: {err}", path.display());
             return 1;
@@ -2756,13 +3198,24 @@ fn mem_emit_stats<B: StoreBackend>(
         eprintln!("wrote telemetry artifact to {}", path.display());
     }
     if let Some(path) = &args.prom {
-        if let Err(err) = std::fs::write(path, layer.metrics_prom()) {
+        if let Err(err) = std::fs::write(path, mem_prom_text(layer)) {
             eprintln!("cannot write {}: {err}", path.display());
             return 1;
         }
         eprintln!("wrote Prometheus exposition to {}", path.display());
     }
     0
+}
+
+/// The full Prometheus exposition for a layer: the layer/store families
+/// plus the bounded-cardinality per-tenant families when tenant
+/// telemetry is installed.
+fn mem_prom_text<B: StoreBackend>(layer: &EncryptionLayer<B>) -> String {
+    let mut text = layer.metrics_prom();
+    if let Some(tenants) = layer.tenants() {
+        text.push_str(&clme_obs::prom::render(&tenants.snapshot().prom_samples()));
+    }
+    text
 }
 
 /// `--check-stats PATH`: parses a `--stats-json` artifact with the
@@ -2848,6 +3301,61 @@ fn mem_check_stats(path: &Path) -> i32 {
             .is_none()
         {
             missing.push(format!("stats.ops.{op}.latency.p99_ns"));
+        }
+    }
+    // `--tenants` artifacts carry the per-tenant object; verify the
+    // bounded-cardinality rows, SLO burn, tail attribution, and stream
+    // digest all survived the round trip.
+    if let Some(tenants) = doc.get("tenants") {
+        for key in ["count", "top_k", "folded_ops", "skew"] {
+            if tenants.get(key).and_then(JsonValue::as_f64).is_none() {
+                missing.push(format!("tenants.{key}"));
+            }
+        }
+        match tenants.get("digest").and_then(JsonValue::as_str) {
+            Some(digest) => println!("{}: tenant stream digest {digest}", path.display()),
+            None => missing.push("tenants.digest".into()),
+        }
+        match tenants.get("rows") {
+            Some(JsonValue::Arr(rows)) if !rows.is_empty() => {
+                let field = |row: &JsonValue, path: &[&str]| -> Option<JsonValue> {
+                    let mut v = row.clone();
+                    for key in path {
+                        v = v.get(key)?.clone();
+                    }
+                    Some(v)
+                };
+                for (i, row) in rows.iter().enumerate() {
+                    for keys in [
+                        &["read", "p99_ns"][..],
+                        &["write", "p99_ns"][..],
+                        &["cache", "hits"][..],
+                        &["tail", "dominant"][..],
+                        &["ciphertext_writes"][..],
+                    ] {
+                        if field(row, keys).is_none() {
+                            missing.push(format!("tenants.rows[{i}].{}", keys.join(".")));
+                        }
+                    }
+                    match row.get("slo") {
+                        Some(JsonValue::Arr(slos)) => {
+                            if !slos.iter().all(|s| {
+                                s.get("burn").and_then(JsonValue::as_f64).is_some()
+                                    && matches!(s.get("window_burns"), Some(JsonValue::Arr(_)))
+                            }) {
+                                missing.push(format!("tenants.rows[{i}].slo[*].burn"));
+                            }
+                        }
+                        _ => missing.push(format!("tenants.rows[{i}].slo (array)")),
+                    }
+                }
+                if !rows.iter().any(|r| {
+                    r.get("tenant").and_then(JsonValue::as_str) == Some("__other__")
+                }) {
+                    missing.push("tenants.rows[*] __other__ rollup row".into());
+                }
+            }
+            _ => missing.push("tenants.rows (non-empty array)".into()),
         }
     }
     if missing.is_empty() {
@@ -3406,14 +3914,56 @@ fn postmortem_render(path: &Path, bundle: &DumpBundle, tail: usize) {
     ranked.sort_by_key(|(page, (fails, bursts, rolls, writes))| {
         (std::cmp::Reverse(fails * 1000 + bursts * 50 + rolls * 10 + writes), *page)
     });
+    let ranges = bundle.workload.get("tenants").and_then(TenantRanges::from_json);
     println!("\nsuspect pages (integrity failures, then write pressure):");
     for (page, (fails, bursts, rolls, writes)) in ranked.iter().take(8) {
+        let owner = ranges
+            .and_then(|r| r.tenant_of_page(*page))
+            .map(|t| format!("  tenant-{t}"))
+            .unwrap_or_default();
         println!(
-            "  page {page:<8} fails {fails:<4} bursts {bursts:<4} rolls {rolls:<4} writes {writes}"
+            "  page {page:<8} fails {fails:<4} bursts {bursts:<4} rolls {rolls:<4} writes {writes}{owner}"
         );
     }
     if ranked.is_empty() {
         println!("  (no page-attributable events in the window)");
+    }
+
+    // Suspect tenants: fold the page scores through the recorded
+    // ranges and add the tenant-batch traffic the recorder retained, so
+    // a multi-tenant post-mortem names who was hammering the layer.
+    let mut tenant_rows: std::collections::BTreeMap<u64, (u64, u64, u64, u64)> =
+        std::collections::BTreeMap::new();
+    if let Some(ranges) = ranges {
+        for (page, (fails, bursts, rolls, writes)) in &ranked {
+            if let Some(t) = ranges.tenant_of_page(*page) {
+                let slot = tenant_rows.entry(t).or_default();
+                slot.0 += fails * 1000 + bursts * 50 + rolls * 10 + writes;
+            }
+        }
+    }
+    for event in &bundle.events {
+        if clme_mem::FlightKind::from_code(event.kind)
+            == Some(clme_mem::FlightKind::TenantBatch)
+        {
+            let slot = tenant_rows.entry(event.a).or_default();
+            slot.1 += 1;
+            slot.2 += event.b >> 1;
+            slot.3 += (event.b & 1) * (event.b >> 1);
+        }
+    }
+    if !tenant_rows.is_empty() {
+        let mut suspects: Vec<(u64, (u64, u64, u64, u64))> = tenant_rows.into_iter().collect();
+        suspects.sort_by_key(|(t, (score, _, blocks, _))| {
+            (std::cmp::Reverse(*score), std::cmp::Reverse(*blocks), *t)
+        });
+        println!("\nsuspect tenants (page faults mapped through the recorded ranges):");
+        for (t, (score, batches, blocks, write_blocks)) in suspects.iter().take(4) {
+            println!(
+                "  tenant-{t:<7} fault_score {score:<6} batches {batches:<5} \
+                 blocks {blocks:<7} written {write_blocks}"
+            );
+        }
     }
 
     // Timeline tail: the newest events, oldest of the tail first.

@@ -79,10 +79,15 @@ pub enum FlightKind {
     /// verified-page cache (no store traffic, no MAC work).
     /// `a` = page, `b` = blocks served.
     ReadHit = 11,
+    /// A multi-tenant driver completed one composed batch for a tenant.
+    /// `a` = tenant id, `b` = `(blocks << 1) | is_write`. Tags the
+    /// timeline with *whose* traffic surrounded an incident so a
+    /// post-mortem can name the suspect tenant.
+    TenantBatch = 12,
 }
 
 /// All kinds, for render tables and exhaustiveness tests.
-pub const FLIGHT_KINDS: [FlightKind; 11] = [
+pub const FLIGHT_KINDS: [FlightKind; 12] = [
     FlightKind::ReadPage,
     FlightKind::WritePage,
     FlightKind::IntegrityFail,
@@ -94,6 +99,7 @@ pub const FLIGHT_KINDS: [FlightKind; 11] = [
     FlightKind::WriteBurst,
     FlightKind::CachePurge,
     FlightKind::ReadHit,
+    FlightKind::TenantBatch,
 ];
 
 impl FlightKind {
@@ -111,6 +117,7 @@ impl FlightKind {
             FlightKind::WriteBurst => "write-burst",
             FlightKind::CachePurge => "cache-purge",
             FlightKind::ReadHit => "read-hit",
+            FlightKind::TenantBatch => "tenant-batch",
         }
     }
 
@@ -225,6 +232,17 @@ impl FlightRecorder {
         self.ring.record(FlightKind::ReadHit as u16, page, blocks);
     }
 
+    /// A multi-tenant driver finished one composed batch for `tenant`.
+    /// `write` distinguishes the op; `blocks` is the batch size.
+    #[inline]
+    pub fn tenant_batch(&self, tenant: u64, blocks: u64, write: bool) {
+        self.ring.record(
+            FlightKind::TenantBatch as u16,
+            tenant,
+            (blocks << 1) | write as u64,
+        );
+    }
+
     /// Merged, seq-ordered view of the retained events.
     pub fn snapshot(&self) -> FlightSnapshot {
         self.ring.snapshot()
@@ -286,6 +304,9 @@ impl FlightRecorder {
     /// No-op.
     #[inline(always)]
     pub fn read_hit(&self, _page: u64, _blocks: u64) {}
+    /// No-op.
+    #[inline(always)]
+    pub fn tenant_batch(&self, _tenant: u64, _blocks: u64, _write: bool) {}
     /// Always empty.
     pub fn snapshot(&self) -> FlightSnapshot {
         FlightSnapshot::default()

@@ -38,6 +38,7 @@ use crate::flight::{FlightRecorder, FLIGHT_CAPACITY};
 use crate::geometry::{Geometry, Region, NODE_ARITY, PAGE_BLOCKS};
 use crate::metrics::{CacheCause, MemMetrics, MemMetricsSnapshot, MemOp, MemStage, Stamp};
 use crate::store::{StoreBackend, StoredWord, WORD_BYTES};
+use crate::tenant::{TailCause, TenantServe, TenantTelemetry, VisitSegments, TAIL_CAUSES};
 use clme_obs::flight::FlightSnapshot;
 use clme_counters::split::CounterBlock;
 use clme_crypto::keys::KeyMaterial;
@@ -191,6 +192,9 @@ pub struct EncryptionLayer<B: StoreBackend> {
     dump: Mutex<Option<(DumpContext, MemMetricsSnapshot)>>,
     /// Where the most recent dump landed.
     last_dump: Mutex<Option<std::path::PathBuf>>,
+    /// Per-tenant attribution, when a multi-tenant driver installed it.
+    /// `None` costs one predictable branch on the hot paths.
+    tenants: Option<Arc<TenantTelemetry>>,
 }
 
 const NODE_MAC_DOMAIN: &[u8] = b"clme-mem:node-mac:v1";
@@ -394,6 +398,7 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             flight: FlightRecorder::new(options.flight_capacity),
             dump: Mutex::new(None),
             last_dump: Mutex::new(None),
+            tenants: None,
         })
     }
 
@@ -462,6 +467,19 @@ impl<B: StoreBackend> EncryptionLayer<B> {
     /// The layer's flight recorder (a no-op stub under `telemetry-off`).
     pub fn flight(&self) -> &FlightRecorder {
         &self.flight
+    }
+
+    /// Installs per-tenant attribution. Takes `&mut self` so it can only
+    /// happen before the layer is shared across threads; hot paths then
+    /// attribute cache results, ciphertext observations, and sampled
+    /// stage blame to the tenant owning each page.
+    pub fn install_tenants(&mut self, tenants: Arc<TenantTelemetry>) {
+        self.tenants = Some(tenants);
+    }
+
+    /// The installed per-tenant telemetry, if any.
+    pub fn tenants(&self) -> Option<&Arc<TenantTelemetry>> {
+        self.tenants.as_ref()
     }
 
     /// Merged, ordered view of the flight ring's retained events.
@@ -737,6 +755,11 @@ impl<B: StoreBackend> EncryptionLayer<B> {
         self.key_epoch.fetch_add(1, Ordering::SeqCst);
         for i in 0..self.shards.len() {
             self.metrics.lock_hold(i, hold_from);
+        }
+        // Every per-tenant key-exposure gauge resets: whatever an
+        // observer collected was written under the now-retired key.
+        if let Some(tenants) = &self.tenants {
+            tenants.on_rekey();
         }
         Ok(RekeyReport {
             pages: self.geo.pages(),
@@ -1127,7 +1150,20 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             if sampled {
                 self.metrics.fanin_read(idxs.len() as u64);
             }
-            self.read_page_group(&keys, page, addrs, &idxs, &mut out, tracing, sampled)?;
+            // Sampled visits hand their measured segments to the tenant
+            // blame tables; the marks are the ones span tracing and the
+            // stage histograms already read, so attribution adds
+            // arithmetic, not clock reads.
+            let mut segs = [0u64; TAIL_CAUSES];
+            if let (Some(w), Some(a)) = (lock_probe, acquired) {
+                segs[TailCause::Lock as usize] = a.since_ns(w);
+            }
+            self.read_page_group(&keys, page, addrs, &idxs, &mut out, tracing, sampled, &mut segs)?;
+            if sampled {
+                if let (Some(tenants), Some(w)) = (&self.tenants, lock_probe) {
+                    tenants.visit_sample(page, Stamp::now().since_ns(w), &segs);
+                }
+            }
             if let Some(acquired) = acquired {
                 self.metrics.lock_hold(shard_idx, acquired);
             }
@@ -1138,7 +1174,9 @@ impl<B: StoreBackend> EncryptionLayer<B> {
     /// Serves one page group of a batch read: consult the verified-page
     /// cache first, then verify-and-fetch whatever is missing with the
     /// page's pads generated in one batched pass. Caller holds the
-    /// page's shard read lock.
+    /// page's shard read lock. On sampled visits `segs` accumulates the
+    /// measured nanosecond segments for tenant blame attribution.
+    #[allow(clippy::too_many_arguments)]
     fn read_page_group(
         &self,
         keys: &KeyMaterial,
@@ -1148,6 +1186,7 @@ impl<B: StoreBackend> EncryptionLayer<B> {
         out: &mut [Block],
         tracing: bool,
         sampled: bool,
+        segs: &mut VisitSegments,
     ) -> Result<(), MemError> {
         let issue = Instant::now();
         let epoch = self.key_epoch.load(Ordering::SeqCst);
@@ -1198,6 +1237,9 @@ impl<B: StoreBackend> EncryptionLayer<B> {
                 self.metrics
                     .op_duration_n(MemOp::Read, elapsed, idxs.len() as u64);
                 self.metrics.cache_hit();
+                if let Some(tenants) = &self.tenants {
+                    tenants.page_served(page, TenantServe::Hit);
+                }
                 if sampled {
                     self.flight.read_hit(page, idxs.len() as u64);
                 }
@@ -1217,11 +1259,19 @@ impl<B: StoreBackend> EncryptionLayer<B> {
         let (cb, got) = match cached {
             Some((cb, got)) => {
                 self.metrics.cache_partial_hit();
+                if let Some(tenants) = &self.tenants {
+                    tenants.page_served(page, TenantServe::Partial);
+                }
                 (cb, got)
             }
             None => {
                 if self.cache.is_some() {
                     self.metrics.cache_miss();
+                }
+                // Tenant tables fold bypasses in with misses: either
+                // way the full verification chain ran for this tenant.
+                if let Some(tenants) = &self.tenants {
+                    tenants.page_served(page, TenantServe::Miss);
                 }
                 let meta0 = Instant::now();
                 let v = {
@@ -1237,6 +1287,10 @@ impl<B: StoreBackend> EncryptionLayer<B> {
                     MemStage::TreeWalk,
                     meta1.saturating_duration_since(meta0),
                 );
+                if sampled {
+                    segs[TailCause::TreeWalk as usize] +=
+                        meta1.saturating_duration_since(meta0).as_nanos() as u64;
+                }
                 meta = Some((meta0, meta1));
                 (v.cb, vec![None; idxs.len()])
             }
@@ -1275,6 +1329,10 @@ impl<B: StoreBackend> EncryptionLayer<B> {
         let p0 = Instant::now();
         let pads = keys.otp().pad_batch64(&pad_reqs);
         let pad_iv = (p0, Instant::now());
+        if sampled {
+            segs[TailCause::Pad as usize] +=
+                pad_iv.1.saturating_duration_since(pad_iv.0).as_nanos() as u64;
+        }
 
         let mut traced: Vec<(u64, ReadMarks)> = Vec::new();
         let mut fresh: Vec<(usize, Block)> = Vec::new();
@@ -1294,6 +1352,16 @@ impl<B: StoreBackend> EncryptionLayer<B> {
                 (pad, pad_iv)
             });
             let (block, marks) = self.read_one(keys, addr, counter, batch_pad)?;
+            if sampled {
+                let iv = |(a, b): (Instant, Instant)| b.saturating_duration_since(a).as_nanos() as u64;
+                // ECC decode rides the store segment: it is part of
+                // turning the fetched word into usable bytes.
+                segs[TailCause::Store as usize] += iv(marks.data) + iv(marks.ecc);
+                segs[TailCause::Mac as usize] += iv(marks.mac);
+                if let Some(x) = marks.xts {
+                    segs[TailCause::Pad as usize] += iv(x);
+                }
+            }
             // The marks are free (span tracing reads those clocks
             // anyway), but each histogram record touches a bucket
             // cache line the workload then evicts, so the per-block
@@ -1412,6 +1480,14 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             if sampled {
                 self.metrics.fanin_write(idxs.len() as u64);
             }
+            // Tenant blame accumulates whatever segments this visit
+            // happens to measure (the write path's probes are sampled
+            // per block); ciphertext observations are exact.
+            let mut segs = [0u64; TAIL_CAUSES];
+            if let (Some(w), Some(a)) = (lock_probe, acquired) {
+                segs[TailCause::Lock as usize] = a.since_ns(w);
+            }
+            let mut observed_blocks = 0u64;
             // Precise invalidation, under the shard write lock and
             // before any word changes: only this page's entry drops, so
             // readers of other pages keep their hits and no reader can
@@ -1428,8 +1504,10 @@ impl<B: StoreBackend> EncryptionLayer<B> {
             let tree_probe = self.metrics.sample().then(Stamp::now);
             let mut v = self.verify_page(&keys, page, *root, writes[idxs[0]].0)?;
             if let Some(t0) = tree_probe {
+                let t1 = Stamp::now();
                 self.metrics
-                    .stage_between(MemOp::Write, MemStage::TreeWalk, t0, Stamp::now());
+                    .stage_between(MemOp::Write, MemStage::TreeWalk, t0, t1);
+                segs[TailCause::TreeWalk as usize] += t1.since_ns(t0);
             }
             for &i in &idxs {
                 // One sampling decision per block: a sampled block gets
@@ -1467,8 +1545,10 @@ impl<B: StoreBackend> EncryptionLayer<B> {
                         )?;
                         reencrypt.push((other_addr, pt, new_counter));
                     }
+                    let m1 = Stamp::now();
                     self.metrics
-                        .stage_between(MemOp::Write, MemStage::MacVerify, m0, Stamp::now());
+                        .stage_between(MemOp::Write, MemStage::MacVerify, m0, m1);
+                    segs[TailCause::Mac as usize] += m1.since_ns(m0);
                 }
                 let c0 = block_probe.then(Stamp::now);
                 self.commit_metadata(&keys, page, &mut v, &mut root)?;
@@ -1480,10 +1560,13 @@ impl<B: StoreBackend> EncryptionLayer<B> {
                         .stage_between(MemOp::Write, MemStage::Commit, c0, c1);
                     self.metrics
                         .stage_between(MemOp::Write, MemStage::PadGen, c1, e1);
+                    segs[TailCause::Commit as usize] += c1.since_ns(c0);
+                    segs[TailCause::Pad as usize] += e1.since_ns(c1);
                 }
                 self.store_write(self.geo.data_word(addr), &word)?;
                 let observed = self.metrics.observe_ciphertext_write(page);
                 self.flight.ciphertext_write(page, observed);
+                observed_blocks += 1;
                 for (other_addr, pt, new_counter) in reencrypt {
                     self.store_write(
                         self.geo.data_word(other_addr),
@@ -1491,12 +1574,21 @@ impl<B: StoreBackend> EncryptionLayer<B> {
                     )?;
                     let observed = self.metrics.observe_ciphertext_write(page);
                     self.flight.ciphertext_write(page, observed);
+                    observed_blocks += 1;
                 }
                 if let Some(b0) = b0 {
                     self.metrics.op_between(MemOp::Write, b0, Stamp::now());
                 }
             }
             self.flight.write_page(page, idxs.len() as u64);
+            if let Some(tenants) = &self.tenants {
+                tenants.ciphertext_writes(page, observed_blocks);
+                if sampled {
+                    if let Some(w) = lock_probe {
+                        tenants.visit_sample(page, Stamp::now().since_ns(w), &segs);
+                    }
+                }
+            }
             if let Some(acquired) = acquired {
                 self.metrics.lock_hold(shard_idx, acquired);
             }

@@ -52,6 +52,7 @@ pub mod geometry;
 pub mod layer;
 pub mod metrics;
 pub mod store;
+pub mod tenant;
 
 pub use adt::{Block, MemoryAdt, BLOCK_BYTES};
 pub use cache::ClockCache;
@@ -65,3 +66,8 @@ pub use metrics::{
     Stamp, StoreMetrics, StoreStats, CACHE_CAUSES, MEM_OPS, MEM_STAGES,
 };
 pub use store::{FileBackend, StoreBackend, StoredWord, VecBackend, WORD_BYTES};
+pub use tenant::{
+    SloRow, SloSpec, TailCause, TenantRanges, TenantRow, TenantServe, TenantSnapshot,
+    TenantTelemetry, VisitSegments, BURN_WINDOWS, DEFAULT_TAIL_CUTOFF_NS, DEFAULT_TENANT_TOP,
+    TAIL_CAUSES,
+};

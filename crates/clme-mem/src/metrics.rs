@@ -178,19 +178,26 @@ impl StoreStats {
         }
     }
 
+    // Saturating: a baseline that is not an earlier state of the same
+    // backend (snapshot kept across a reattach, or swapped between
+    // layers) clamps to zero instead of wrapping.
     fn delta_since(&self, base: &StoreStats) -> StoreStats {
         StoreStats {
-            words_read: self.words_read - base.words_read,
-            words_written: self.words_written - base.words_written,
-            page_cache_hits: self.page_cache_hits - base.page_cache_hits,
-            page_cache_misses: self.page_cache_misses - base.page_cache_misses,
-            page_cache_evictions: self.page_cache_evictions - base.page_cache_evictions,
-            page_cache_read_fill_evictions: self.page_cache_read_fill_evictions
-                - base.page_cache_read_fill_evictions,
-            page_cache_write_fill_evictions: self.page_cache_write_fill_evictions
-                - base.page_cache_write_fill_evictions,
-            file_reads: self.file_reads - base.file_reads,
-            file_writes: self.file_writes - base.file_writes,
+            words_read: self.words_read.saturating_sub(base.words_read),
+            words_written: self.words_written.saturating_sub(base.words_written),
+            page_cache_hits: self.page_cache_hits.saturating_sub(base.page_cache_hits),
+            page_cache_misses: self.page_cache_misses.saturating_sub(base.page_cache_misses),
+            page_cache_evictions: self
+                .page_cache_evictions
+                .saturating_sub(base.page_cache_evictions),
+            page_cache_read_fill_evictions: self
+                .page_cache_read_fill_evictions
+                .saturating_sub(base.page_cache_read_fill_evictions),
+            page_cache_write_fill_evictions: self
+                .page_cache_write_fill_evictions
+                .saturating_sub(base.page_cache_write_fill_evictions),
+            file_reads: self.file_reads.saturating_sub(base.file_reads),
+            file_writes: self.file_writes.saturating_sub(base.file_writes),
         }
     }
 }
@@ -281,16 +288,20 @@ impl CacheStats {
         self.invalidations[cause as usize]
     }
 
+    // Saturating for the same reason as [`StoreStats::delta_since`]: a
+    // baseline newer than `self` yields zeros, never a wrapped count.
     fn delta_since(&self, base: &CacheStats) -> CacheStats {
         CacheStats {
-            hits: self.hits - base.hits,
-            partial_hits: self.partial_hits - base.partial_hits,
-            misses: self.misses - base.misses,
-            fills: self.fills - base.fills,
-            evictions: self.evictions - base.evictions,
-            bypasses: self.bypasses - base.bypasses,
-            invalidations: core::array::from_fn(|i| self.invalidations[i] - base.invalidations[i]),
-            foreign_purges: self.foreign_purges - base.foreign_purges,
+            hits: self.hits.saturating_sub(base.hits),
+            partial_hits: self.partial_hits.saturating_sub(base.partial_hits),
+            misses: self.misses.saturating_sub(base.misses),
+            fills: self.fills.saturating_sub(base.fills),
+            evictions: self.evictions.saturating_sub(base.evictions),
+            bypasses: self.bypasses.saturating_sub(base.bypasses),
+            invalidations: core::array::from_fn(|i| {
+                self.invalidations[i].saturating_sub(base.invalidations[i])
+            }),
+            foreign_purges: self.foreign_purges.saturating_sub(base.foreign_purges),
             resident_pages: self.resident_pages,
         }
     }
@@ -392,6 +403,11 @@ impl MemMetricsSnapshot {
     /// The traffic between `base` (an earlier snapshot of the same
     /// layer) and `self`. Monotonic values subtract; gauges (rekey
     /// progress, observation maxima) keep their current level.
+    ///
+    /// Every subtraction saturates at zero: a baseline that is *not* an
+    /// earlier state of the same layer (it outlived a purge or rekey, or
+    /// was taken from a different layer) degrades to an empty-or-smaller
+    /// delta instead of wrapping into garbage counts.
     pub fn delta_since(&self, base: &MemMetricsSnapshot) -> MemMetricsSnapshot {
         let hist_delta = |a: &[Log2Histogram], b: &[Log2Histogram]| -> Vec<Log2Histogram> {
             a.iter()
@@ -418,15 +434,17 @@ impl MemMetricsSnapshot {
                 .collect(),
             lock_wait: hist_delta(&self.lock_wait, &base.lock_wait),
             lock_hold: hist_delta(&self.lock_hold, &base.lock_hold),
-            blocks_read: self.blocks_read - base.blocks_read,
-            blocks_written: self.blocks_written - base.blocks_written,
-            batch_reads: self.batch_reads - base.batch_reads,
-            batch_writes: self.batch_writes - base.batch_writes,
-            integrity_errors: self.integrity_errors - base.integrity_errors,
-            page_rolls: self.page_rolls - base.page_rolls,
-            counterless_reads: self.counterless_reads - base.counterless_reads,
-            counterless_writes: self.counterless_writes - base.counterless_writes,
-            observed_writes_total: self.observed_writes_total - base.observed_writes_total,
+            blocks_read: self.blocks_read.saturating_sub(base.blocks_read),
+            blocks_written: self.blocks_written.saturating_sub(base.blocks_written),
+            batch_reads: self.batch_reads.saturating_sub(base.batch_reads),
+            batch_writes: self.batch_writes.saturating_sub(base.batch_writes),
+            integrity_errors: self.integrity_errors.saturating_sub(base.integrity_errors),
+            page_rolls: self.page_rolls.saturating_sub(base.page_rolls),
+            counterless_reads: self.counterless_reads.saturating_sub(base.counterless_reads),
+            counterless_writes: self.counterless_writes.saturating_sub(base.counterless_writes),
+            observed_writes_total: self
+                .observed_writes_total
+                .saturating_sub(base.observed_writes_total),
             observed_writes_max: self.observed_writes_max,
             observed_writes_max_page: self.observed_writes_max_page,
             rekey: self.rekey.clone(),
@@ -1570,6 +1588,47 @@ mod tests {
         assert_eq!(delta.blocks_read, 5);
         assert_eq!(delta.batch_reads, 1);
         assert_eq!(delta.op(MemOp::Read).latency.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_delta_clamps_against_newer_baseline() {
+        // A snapshot that outlived a purge/rekey — or was swapped between
+        // layers — can be *ahead* of the live state. Deltas must clamp
+        // to zero everywhere instead of wrapping to ~u64::MAX.
+        let live = MemMetrics::new(2, 4);
+        live.note_read_batch(3);
+        live.cache_hit();
+        let newer = MemMetrics::new(2, 4);
+        newer.note_read_batch(10);
+        newer.note_write_batch(10);
+        newer.cache_hit();
+        newer.cache_hit();
+        newer.cache_invalidated(CacheCause::Rekey, 7);
+        newer.observe_ciphertext_write(0);
+        newer.op_duration(MemOp::Read, Duration::from_nanos(50));
+        let delta = live.snapshot(None).delta_since(&newer.snapshot(None));
+        assert_eq!(delta.blocks_read, 0);
+        assert_eq!(delta.blocks_written, 0);
+        assert_eq!(delta.batch_reads, 0);
+        assert_eq!(delta.batch_writes, 0);
+        assert_eq!(delta.observed_writes_total, 0);
+        assert_eq!(delta.cache.hits, 0);
+        assert_eq!(delta.cache.invalidated(CacheCause::Rekey), 0);
+        assert_eq!(delta.op(MemOp::Read).latency.count(), 0);
+        assert_eq!(delta.op(MemOp::Read).latency.percentile_ps(0.99), 0);
+
+        // Store-side counters clamp the same way.
+        let s_live = StoreMetrics::new();
+        s_live.cache_hit();
+        let s_newer = StoreMetrics::new();
+        s_newer.cache_hit();
+        s_newer.cache_hit();
+        s_newer.cache_miss();
+        let delta = live
+            .snapshot(Some(&s_live))
+            .delta_since(&newer.snapshot(Some(&s_newer)));
+        assert_eq!(delta.store.page_cache_hits, 0);
+        assert_eq!(delta.store.page_cache_misses, 0);
     }
 
     #[test]

@@ -164,15 +164,16 @@ impl Log2Histogram {
     /// the delta window; otherwise it is the tightest bucket upper bound,
     /// clamped to the cumulative maximum.
     ///
-    /// # Panics
-    ///
-    /// Panics (in debug builds, via arithmetic underflow) if `baseline`
-    /// is not an earlier state of `self`.
+    /// Every subtraction saturates at zero: a `baseline` that is *not*
+    /// an earlier state of `self` (a snapshot that outlived a purge,
+    /// reset, or was taken from another histogram) yields an
+    /// empty-or-smaller delta instead of underflowing into garbage
+    /// percentiles.
     pub fn delta_since(&self, baseline: &Log2Histogram) -> Log2Histogram {
         let mut counts = [0u64; LOG2_BUCKETS];
         let mut highest = None;
         for i in 0..LOG2_BUCKETS {
-            counts[i] = self.counts[i] - baseline.counts[i];
+            counts[i] = self.counts[i].saturating_sub(baseline.counts[i]);
             if counts[i] > 0 {
                 highest = Some(i);
             }
@@ -186,8 +187,8 @@ impl Log2Histogram {
         };
         Log2Histogram {
             counts,
-            total: self.total - baseline.total,
-            sum_ps: self.sum_ps - baseline.sum_ps,
+            total: counts.iter().sum(),
+            sum_ps: self.sum_ps.saturating_sub(baseline.sum_ps),
             max_ps,
         }
     }
@@ -336,6 +337,35 @@ mod tests {
         // True epoch max (70) is unknowable from buckets; the bound is
         // the bucket's upper edge, clamped below the cumulative max.
         assert_eq!(delta.max_ps(), 127);
+    }
+
+    #[test]
+    fn delta_since_clamps_when_baseline_is_newer() {
+        // A snapshot taken *after* more traffic (or after a purge reset
+        // the live histogram) must clamp to zero, not underflow.
+        let mut live = Log2Histogram::new();
+        live.record(TimeDelta::from_picos(100));
+        let mut newer = live.clone();
+        newer.record(TimeDelta::from_picos(100));
+        newer.record(TimeDelta::from_picos(5000));
+        let delta = live.delta_since(&newer);
+        assert_eq!(delta.count(), 0);
+        assert_eq!(delta.mean_ps(), 0.0);
+        assert_eq!(delta.max_ps(), 0);
+        for p in [0.5, 0.99, 1.0] {
+            assert_eq!(delta.percentile_ps(p), 0);
+        }
+        // Post-purge: live restarts from empty while the snapshot still
+        // holds history. The delta is the new traffic only where it
+        // exceeds the stale baseline, never a wrapped count.
+        let mut purged = Log2Histogram::new();
+        purged.record(TimeDelta::from_picos(7));
+        let delta = purged.delta_since(&newer);
+        assert_eq!(delta.count(), 1);
+        assert_eq!(delta.bucket_count(3), 1); // 7 in [4, 8)
+        // Internal consistency: total always equals the bucket sum.
+        let summed: u64 = (0..LOG2_BUCKETS).map(|i| delta.bucket_count(i)).sum();
+        assert_eq!(delta.count(), summed);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! * [`graph`] — CSR graph traversals for the graphBIG kernels.
 //! * [`suites`] — named constructors for every benchmark in the paper,
 //!   and the irregular/regular suite lists the figures iterate over.
+//! * [`tenants`] — deterministic multi-tenant traffic composition for
+//!   the per-tenant observability bench.
 //!
 //! # Examples
 //!
@@ -29,6 +31,7 @@
 pub mod graph;
 pub mod suites;
 pub mod synthetic;
+pub mod tenants;
 pub mod trace;
 
 use clme_types::PhysAddr;

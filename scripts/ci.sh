@@ -57,10 +57,53 @@ for BACKEND in vec file; do
         exit 1
     fi
     grep -q '"trigger": "integrity-error"' "$DUMP"
+    # Replay exit code, asserted both ways. A faithful bundle must
+    # replay to exit 0 (set -e would abort otherwise)...
     cargo run --release -q --offline -p clme-bench --bin clme -- \
         postmortem "$DUMP" --replay > /dev/null
-    echo "post-mortem smoke ($BACKEND): bundle parsed, replay reproduced the class"
+    # ...and a bundle whose recorded TamperClass cannot be reproduced
+    # must exit nonzero, or CI would never notice a broken replayer.
+    BAD="/tmp/clme_pm_${BACKEND}_bad.clmedump"
+    grep -q '"class_code": [1-9]' "$DUMP"   # precondition for the swap below
+    sed 's/"class_code": [0-9]*/"class_code": 0/' "$DUMP" > "$BAD"
+    if cargo run --release -q --offline -p clme-bench --bin clme -- \
+        postmortem "$BAD" --replay > /dev/null 2>&1; then
+        echo "post-mortem smoke ($BACKEND): class mismatch must exit nonzero"
+        exit 1
+    fi
+    echo "post-mortem smoke ($BACKEND): bundle parsed, replay reproduced the class, mismatch failed loudly"
 done
+
+echo "== tenant observability smoke (composer + bounded-cardinality telemetry) =="
+# The multi-tenant bench end-to-end: 64 Zipf-skewed client streams on
+# both backends, cache on and off, with the per-tenant artifact checked
+# for top-K rows, SLO burn, tail attribution, and the stream digest.
+# The digest is a pure function of (seed, tenants, skew), so all four
+# runs must agree on it — backend and cache change timing, never the
+# composed traffic.
+TENANT_DIGEST=""
+for BACKEND in vec file; do
+    for CACHE in cache no-cache; do
+        OUT="/tmp/clme_tenants_${BACKEND}_${CACHE}.json"
+        cargo run --release -q --offline -p clme-bench --bin clme -- \
+            mem --tenants 64 --skew 1.2 --backend "$BACKEND" "--$CACHE" \
+            --blocks 8192 --ops 4000 --stats-json "$OUT"
+        cargo run --release -q --offline -p clme-bench --bin clme -- \
+            mem --check-stats "$OUT"
+        DIGEST=$(grep -o '"digest": "[^"]*"' "$OUT")
+        if [[ -z "$DIGEST" ]]; then
+            echo "tenant smoke: no stream digest in $OUT"
+            exit 1
+        fi
+        if [[ -z "$TENANT_DIGEST" ]]; then
+            TENANT_DIGEST="$DIGEST"
+        elif [[ "$DIGEST" != "$TENANT_DIGEST" ]]; then
+            echo "tenant smoke: digest drifted ($DIGEST vs $TENANT_DIGEST)"
+            exit 1
+        fi
+    done
+done
+echo "tenant smoke: all four runs composed ${TENANT_DIGEST#*: }"
 
 echo "== mem telemetry smoke + overhead gate =="
 # The telemetry pipeline end-to-end: bench both backends with the
@@ -153,6 +196,41 @@ done
 echo "telemetry overhead: ${OVER}/${PAIRS} pairs above the 3% budget"
 if (( OVER >= 4 )); then
     echo "TELEMETRY OVERHEAD GATE FAILED"
+    exit 1
+fi
+
+# Same gate with the per-tenant telemetry enabled: the bounded-
+# cardinality tenant accounting (top-K slots, sketch, SLO windows,
+# sampled tail attribution) must also fit inside the 3% budget. Both
+# binaries run the identical composed stream; only the telemetry build
+# differs.
+mem_tenant_gate_sum() {
+    "$1" mem --tenants 32 --skew 1.2 --blocks 2048 --ops 8000 --reps 3 \
+        | awk '/^  batch_write/ { w = $3 } /^  batch_read/ { r = $3 } END { print w + r }'
+}
+OVER=0
+for i in $(seq "$PAIRS"); do
+    if (( i % 2 )); then
+        OFF=$(mem_tenant_gate_sum target/telemetry-off/release/clme)
+        ON=$(mem_tenant_gate_sum target/release/clme)
+    else
+        ON=$(mem_tenant_gate_sum target/release/clme)
+        OFF=$(mem_tenant_gate_sum target/telemetry-off/release/clme)
+    fi
+    if [[ -z "$OFF" || -z "$ON" ]]; then
+        echo "tenant telemetry gate: bad measurement (off='$OFF' on='$ON')"
+        exit 1
+    fi
+    COST=$(awk -v on="$ON" -v off="$OFF" \
+        'BEGIN { printf "%.2f", (off - on) / off * 100 }')
+    echo "tenant pair $i: off=${OFF} on=${ON} blocks/s (write+read), cost ${COST}%"
+    if awk -v c="$COST" 'BEGIN { exit !(c > 3.0) }'; then
+        OVER=$((OVER + 1))
+    fi
+done
+echo "tenant telemetry overhead: ${OVER}/${PAIRS} pairs above the 3% budget"
+if (( OVER >= 4 )); then
+    echo "TENANT TELEMETRY OVERHEAD GATE FAILED"
     exit 1
 fi
 
